@@ -1,0 +1,129 @@
+// Command experiments regenerates every table and figure of the
+// reproduction (see DESIGN.md §4 for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured results).
+//
+// Usage:
+//
+//	experiments [-run E2,E8] [-seed 42] [-short]
+//
+// Without -run, all experiments execute in order. -short shrinks the
+// corpus (48 frames per game) for quick iteration; published numbers
+// use the full 717-frame corpus.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// experiment is one regenerable table/figure.
+type experiment struct {
+	id    string
+	title string
+	run   func(*ctx) error
+}
+
+var experiments = []experiment{
+	{"E1", "Corpus summary (paper: 717 frames, 828K draw calls)", runE1},
+	{"E2", "Per-frame performance prediction error (paper: 1.0% avg)", runE2},
+	{"E3", "Clustering efficiency (paper: 65.8% avg)", runE3},
+	{"E4", "Cluster outliers > 20% intra error (paper: 3.0% avg)", runE4},
+	{"E5", "Error vs efficiency trade-off (threshold sweep)", runE5},
+	{"E6", "Phase detection: shader-vector timelines", runE6},
+	{"E7", "Subset size (paper: < 1% of parent)", runE7},
+	{"E8", "Core-frequency scaling correlation (paper: r >= 0.997)", runE8},
+	{"E9", "Baselines: clustering vs random/uniform/first-N", runE9},
+	{"E10", "Ablations: normalization, algorithm, feature groups", runE10},
+	{"E11", "Memory-frequency scaling correlation (extension)", runE11},
+	{"E12", "Pathfinding decision fidelity on a config grid (extension)", runE12},
+	{"E13", "Context-dependence study: shared texture cache vs context-free oracle (extension)", runE13},
+	{"E14", "Seed robustness of the headline metrics (extension)", runE14},
+	{"E15", "PCA reduction and BIC cluster-count selection (extension)", runE15},
+	{"E16", "Energy-aware pathfinding: min-EDP decision on a DVFS sweep (extension)", runE16},
+	{"E17", "Workload characterization: bottlenecks and traffic on the base config (extension)", runE17},
+	{"E18", "API command-stream characterization: state changes per draw (extension)", runE18},
+	{"E19", "Pareto frontier and power-capped pathfinding, parent vs subset (extension)", runE19},
+	{"E20", "Subset fidelity on micro-architectural sweeps: EU count, cache size (extension)", runE20},
+	{"E21", "Cluster validity vs engine material ground truth: ARI, purity (extension)", runE21},
+	{"E22", "Feature-space spectrum: effective dimensionality per frame (extension)", runE22},
+}
+
+// ctx carries the lazily-built corpus and evaluation caches shared by
+// experiments (E2-E4 reuse one clustering evaluation, for example).
+type ctx struct {
+	seed  uint64
+	short bool
+
+	suite []*trace.Workload
+	evals []gameEval // filled by ensureEvals (E2-E4)
+}
+
+func (c *ctx) ensureSuite() error {
+	if c.suite != nil {
+		return nil
+	}
+	profiles := synth.SuiteProfiles()
+	for i, p := range profiles {
+		if c.short {
+			p.Frames = 48
+		}
+		w, err := synth.Generate(p, c.seed+uint64(i)*0x9e3779b97f4a7c15)
+		if err != nil {
+			return err
+		}
+		c.suite = append(c.suite, w)
+	}
+	return nil
+}
+
+func main() {
+	var (
+		runList = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		seed    = flag.Uint64("seed", 42, "corpus seed")
+		short   = flag.Bool("short", false, "shrink corpus to 48 frames/game for quick runs")
+	)
+	flag.Parse()
+
+	selected := map[string]bool{}
+	if *runList != "" {
+		for _, id := range strings.Split(*runList, ",") {
+			selected[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+		known := map[string]bool{}
+		for _, e := range experiments {
+			known[e.id] = true
+		}
+		var unknown []string
+		for id := range selected {
+			if !known[id] {
+				unknown = append(unknown, id)
+			}
+		}
+		if len(unknown) > 0 {
+			sort.Strings(unknown)
+			fmt.Fprintf(os.Stderr, "experiments: unknown ids %v\n", unknown)
+			os.Exit(2)
+		}
+	}
+
+	c := &ctx{seed: *seed, short: *short}
+	for _, e := range experiments {
+		if len(selected) > 0 && !selected[e.id] {
+			continue
+		}
+		fmt.Printf("==== %s: %s ====\n", e.id, e.title)
+		start := time.Now()
+		if err := e.run(c); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("---- %s done in %s ----\n\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+}

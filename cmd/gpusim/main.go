@@ -1,0 +1,75 @@
+// Command gpusim prices a workload trace on a GPU configuration.
+//
+// Usage:
+//
+//	gpusim -trace game.trace [-core 1.0] [-mem 1.0] [-frames]
+//
+// It prints the total runtime, FPS and aggregate statistics; -frames
+// additionally lists per-frame times.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/charz"
+	"repro/internal/dcmath"
+	"repro/internal/gpu"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "input .trace file (required)")
+		core      = flag.Float64("core", 1.0, "core clock in GHz")
+		mem       = flag.Float64("mem", 1.0, "memory clock in GHz")
+		perFrame  = flag.Bool("frames", false, "print per-frame times")
+		breakdown = flag.Bool("breakdown", false, "print workload characterization (bottlenecks, traffic)")
+	)
+	flag.Parse()
+	if *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "gpusim: -trace is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*tracePath, *core, *mem, *perFrame, *breakdown); err != nil {
+		fmt.Fprintln(os.Stderr, "gpusim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, core, mem float64, perFrame, breakdown bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := trace.Decode(f)
+	if err != nil {
+		return err
+	}
+	cfg := gpu.BaseConfig().WithCoreClock(core).WithMemClock(mem)
+	sim, err := gpu.NewSimulator(cfg, w)
+	if err != nil {
+		return err
+	}
+	res := sim.Run()
+	fmt.Printf("workload  %s (%d frames, %d draws)\n", w.Name, w.NumFrames(), w.NumDraws())
+	fmt.Printf("config    %s (core %.2f GHz, mem %.2f GHz, %.1f GB/s)\n",
+		cfg.Name, cfg.CoreClockGHz, cfg.MemClockGHz, cfg.BandwidthGBs())
+	fmt.Printf("total     %.3f ms  (%.1f FPS)\n", res.TotalNs/1e6, res.FPS())
+	fmt.Printf("frame     mean %.3f ms  median %.3f ms  p95 %.3f ms  max %.3f ms\n",
+		dcmath.Mean(res.FrameNs)/1e6, dcmath.Median(res.FrameNs)/1e6,
+		dcmath.Quantile(res.FrameNs, 0.95)/1e6, dcmath.Max(res.FrameNs)/1e6)
+	if perFrame {
+		for i, t := range res.FrameNs {
+			fmt.Printf("  frame %4d  %10.3f ms  %s\n", i, t/1e6, w.Frames[i].Scene)
+		}
+	}
+	if breakdown {
+		fmt.Println()
+		charz.Characterize(sim, w).Render(os.Stdout)
+	}
+	return nil
+}

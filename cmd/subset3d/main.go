@@ -1,0 +1,105 @@
+// Command subset3d runs the full workload-subsetting pipeline on a
+// trace: per-frame draw-call clustering, shader-vector phase
+// detection, subset extraction and frequency-scaling validation.
+//
+// Usage:
+//
+//	subset3d -trace game.trace [-threshold 0.5] [-interval 4] [-fast]
+//	subset3d -stream game.stream
+//
+// -fast skips the per-frame clustering evaluation (the expensive part)
+// and only builds and validates the subset. -stream consumes a
+// frame-stream trace in one bounded-memory pass (no evaluation or
+// validation sweep — the parent never exists in memory).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "input .trace file (required)")
+		threshold = flag.Float64("threshold", core.DefaultOptions().Subset.Method.Threshold, "leader clustering threshold")
+		interval  = flag.Int("interval", core.DefaultOptions().Subset.Phase.IntervalFrames, "phase detection interval (frames)")
+		fast      = flag.Bool("fast", false, "skip per-frame clustering evaluation")
+		streamIn  = flag.String("stream", "", "frame-stream trace to subset in one bounded-memory pass")
+	)
+	flag.Parse()
+	if (*tracePath == "") == (*streamIn == "") {
+		fmt.Fprintln(os.Stderr, "subset3d: exactly one of -trace or -stream is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var err error
+	if *streamIn != "" {
+		err = runStream(*streamIn, *threshold, *interval)
+	} else {
+		err = run(*tracePath, *threshold, *interval, *fast)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "subset3d:", err)
+		os.Exit(1)
+	}
+}
+
+func runStream(path string, threshold float64, interval int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	dec, err := trace.NewStreamDecoder(f)
+	if err != nil {
+		return err
+	}
+	opt := stream.DefaultOptions()
+	opt.Method.Threshold = threshold
+	opt.Phase.IntervalFrames = interval
+	res, err := stream.Run(dec, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload %s (streamed): %d frames, %d draws\n",
+		dec.Shell().Name, res.ParentFrames, res.ParentDraws)
+	fmt.Printf("phases: %d  timeline %s\n", res.NumPhases, res.Timeline)
+	n := 0
+	for i := range res.Frames {
+		n += len(res.Frames[i].Draws)
+	}
+	fmt.Printf("subset: %d frames, %d draws = %.2f%% of parent\n",
+		len(res.Frames), n, res.SizeRatio()*100)
+	return nil
+}
+
+func run(path string, threshold float64, interval int, fast bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := trace.Decode(f)
+	if err != nil {
+		return err
+	}
+	opt := core.DefaultOptions()
+	opt.Subset.Method.Threshold = threshold
+	opt.Subset.Phase.IntervalFrames = interval
+	opt.SkipClusteringEval = fast
+	s, err := core.New(opt)
+	if err != nil {
+		return err
+	}
+	rep, err := s.Run(w)
+	if err != nil {
+		return err
+	}
+	rep.Render(os.Stdout)
+	return nil
+}

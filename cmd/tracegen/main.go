@@ -1,0 +1,118 @@
+// Command tracegen generates synthetic 3D workload traces.
+//
+// Usage:
+//
+//	tracegen -out dir [-seed 42] [-game bioshock1|bioshock2|bioshockinf|suite] [-json]
+//
+// It writes one .trace (gob) file per game — plus .json when -json is
+// set — and prints the corpus summary table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		out    = flag.String("out", ".", "output directory")
+		seed   = flag.Uint64("seed", 42, "generator seed")
+		game   = flag.String("game", "suite", "game profile: bioshock1, bioshock2, bioshockinf or suite")
+		asJS   = flag.Bool("json", false, "additionally write JSON alongside the binary trace")
+		stream = flag.Bool("stream", false, "additionally write the frame-stream format (.stream)")
+	)
+	flag.Parse()
+	if err := run(*out, *seed, *game, *asJS, *stream); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, seed uint64, game string, asJSON, asStream bool) error {
+	var profiles []synth.Profile
+	switch game {
+	case "suite":
+		profiles = synth.SuiteProfiles()
+	case "bioshock1":
+		profiles = []synth.Profile{synth.Bioshock1Profile()}
+	case "bioshock2":
+		profiles = []synth.Profile{synth.Bioshock2Profile()}
+	case "bioshockinf":
+		profiles = []synth.Profile{synth.BioshockInfiniteProfile()}
+	default:
+		return fmt.Errorf("unknown game %q", game)
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	var workloads []*trace.Workload
+	for i, p := range profiles {
+		w, err := synth.Generate(p, seed+uint64(i)*0x9e3779b97f4a7c15)
+		if err != nil {
+			return err
+		}
+		workloads = append(workloads, w)
+		path := filepath.Join(out, w.Name+".trace")
+		if err := writeTrace(w, path); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+		if asJSON {
+			jpath := filepath.Join(out, w.Name+".json")
+			if err := writeJSON(w, jpath); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", jpath)
+		}
+		if asStream {
+			spath := filepath.Join(out, w.Name+".stream")
+			if err := writeStream(w, spath); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", spath)
+		}
+	}
+	trace.WriteTable(os.Stdout, workloads)
+	return nil
+}
+
+func writeTrace(w *trace.Workload, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := w.Encode(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func writeJSON(w *trace.Workload, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := w.EncodeJSON(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func writeStream(w *trace.Workload, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.EncodeStream(f, w); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,89 @@
+// Phasestudy: explore the phase structure of the three-game corpus,
+// including how detection behaves when frame intervals do not align
+// with scene boundaries (the robustness property that motivates
+// set-based shader-vector equality).
+//
+//	go run ./examples/phasestudy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/phase"
+	"repro/internal/synth"
+)
+
+func main() {
+	for _, profile := range synth.SuiteProfiles() {
+		profile.Frames = 128 // two script iterations for the demo
+		workload, err := synth.Generate(profile, 99)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("== %s ==\n", workload.Name)
+		det, err := phase.Detect(workload, phase.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("aligned  intervals: %2d phases  %s\n", det.NumPhases, det.Timeline())
+
+		// Misaligned intervals: a 5-frame grid never lines up with the
+		// 4-multiple scene segments, so many intervals straddle scene
+		// boundaries. Set-based equality still recognizes recurring
+		// transitions (the union of two scenes' shader sets is itself a
+		// recurring signature), so the phase count stays low.
+		odd := phase.DefaultOptions()
+		odd.IntervalFrames = 5
+		detOdd, err := phase.Detect(workload, odd)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("5-frame  intervals: %2d phases  %s\n", detOdd.NumPhases, detOdd.Timeline())
+
+		// Weight-quantized equality (the stricter ablation arm)
+		// fragments phases when work shares drift across quantization
+		// boundaries.
+		strict := phase.DefaultOptions()
+		strict.QuantizeWeights = true
+		strict.MinShare = 0.01
+		detStrict, err := phase.Detect(workload, strict)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("weighted signatures: %2d phases  %s\n", detStrict.NumPhases, detStrict.Timeline())
+
+		// Cosine-similarity matching on the raw work-weighted vectors:
+		// the graded middle ground — tolerant of jitter like set
+		// equality, yet still weight-aware.
+		cosine := phase.DefaultOptions()
+		cosine.MatchCosine = 0.98
+		detCos, err := phase.Detect(workload, cosine)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("cosine >= 0.98:      %2d phases  %s\n", detCos.NumPhases, detCos.Timeline())
+
+		// Shader-vector similarity between the first interval of each
+		// phase pair — how separated the phases actually are.
+		fmt.Println("phase-representative cosine similarity:")
+		vecs := make([]phase.Vector, det.NumPhases)
+		for p, ii := range det.Representatives {
+			iv := det.Intervals[ii]
+			v, err := phase.IntervalVector(workload, iv.Start, iv.End)
+			if err != nil {
+				log.Fatal(err)
+			}
+			vecs[p] = v
+		}
+		for a := 0; a < det.NumPhases; a++ {
+			fmt.Printf("  %c:", 'A'+a%26)
+			for b := 0; b <= a; b++ {
+				fmt.Printf(" %5.2f", phase.Cosine(vecs[a], vecs[b]))
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+}

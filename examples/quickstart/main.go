@@ -1,0 +1,48 @@
+// Quickstart: generate a synthetic game trace, extract a
+// representative subset, and print the quality report.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+func main() {
+	// 1. A workload. Real deployments decode a captured .trace file
+	// (see cmd/tracegen / trace.Decode); here we synthesize a small
+	// BioShock-1-like capture.
+	profile := synth.Bioshock1Profile()
+	profile.Frames = 64 // keep the example quick
+	workload, err := synth.Generate(profile, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. The subsetting pipeline with default settings: leader
+	// clustering of draw calls on micro-architecture independent
+	// features, shader-vector phase detection, and a frequency-scaling
+	// validation sweep.
+	subsetter, err := core.New(core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := subsetter.Run(workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. The report: clustering quality, phases, subset size and the
+	// validation correlation.
+	report.Render(os.Stdout)
+
+	// 4. The subset itself is ready for use in pathfinding studies —
+	// simulating it costs ~100x less than the parent workload.
+	fmt.Printf("\nsubset keeps %d of %d draws; simulate it instead of the parent.\n",
+		report.Subset.NumDraws(), workload.NumDraws())
+}

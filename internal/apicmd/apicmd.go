@@ -1,0 +1,127 @@
+// Package apicmd models the 3D-API command stream a capture tool
+// actually records: state binds (shaders, textures, render target,
+// blend/depth) followed by draw commands, with state persisting until
+// rebound. The trace package's per-draw records are the *expanded*
+// view of such a stream; this package provides the compact native
+// form, conversion in both directions, and the state-change statistics
+// (binds per draw) that characterize how an engine batches.
+//
+// Engines sort draws by material precisely to minimize these state
+// changes — the same batching behaviour that makes draw-call
+// clustering efficient — so the stream's compression ratio is itself a
+// workload characteristic worth reporting (experiment E18).
+package apicmd
+
+import (
+	"fmt"
+
+	"repro/internal/shader"
+	"repro/internal/trace"
+)
+
+// Op is a command opcode.
+type Op uint8
+
+// Command opcodes.
+const (
+	OpBindVS Op = iota
+	OpBindPS
+	OpBindTextures
+	OpSetRenderTarget
+	OpSetBlend
+	OpSetDepth
+	OpDraw
+	OpEndFrame
+	opCount
+)
+
+// String returns the opcode mnemonic.
+func (o Op) String() string {
+	switch o {
+	case OpBindVS:
+		return "bind_vs"
+	case OpBindPS:
+		return "bind_ps"
+	case OpBindTextures:
+		return "bind_textures"
+	case OpSetRenderTarget:
+		return "set_rt"
+	case OpSetBlend:
+		return "set_blend"
+	case OpSetDepth:
+		return "set_depth"
+	case OpDraw:
+		return "draw"
+	case OpEndFrame:
+		return "end_frame"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Command is one recorded API call. Fields are interpreted per opcode:
+// binds use the resource fields; draws use the geometry and
+// screen-space fields (those are per-draw measurements, not state).
+type Command struct {
+	Op Op
+
+	// Bind payloads.
+	VS       shader.ID
+	PS       shader.ID
+	Textures []trace.TextureID
+	RT       trace.RTID
+	Enable   bool // blend / depth
+
+	// Draw payloads.
+	VertexCount   int
+	InstanceCount int
+	Topology      trace.Topology
+	CoverageFrac  float64
+	Overdraw      float64
+	TexLocality   float64
+	MaterialID    uint32
+
+	// EndFrame payload.
+	Scene string
+}
+
+// Stream is a recorded command sequence for a whole capture.
+type Stream struct {
+	Commands []Command
+}
+
+// Stats summarizes state-change behaviour of a stream.
+type Stats struct {
+	Draws        int
+	Frames       int
+	Binds        int // state-changing commands (excluding draws/end-frame)
+	BindsPerDraw float64
+	ByOp         map[Op]int
+	// ExpansionRatio is expanded per-draw state records / stream
+	// commands — how much the delta encoding saves.
+	ExpansionRatio float64
+}
+
+// Stats computes the stream's state-change statistics.
+func (s *Stream) Stats() Stats {
+	st := Stats{ByOp: map[Op]int{}}
+	for i := range s.Commands {
+		c := &s.Commands[i]
+		st.ByOp[c.Op]++
+		switch c.Op {
+		case OpDraw:
+			st.Draws++
+		case OpEndFrame:
+			st.Frames++
+		default:
+			st.Binds++
+		}
+	}
+	if st.Draws > 0 {
+		st.BindsPerDraw = float64(st.Binds) / float64(st.Draws)
+		// Expanded form: one full-state record per draw; a full state is
+		// ~6 bind-equivalents plus the draw itself.
+		st.ExpansionRatio = float64(st.Draws*7) / float64(len(s.Commands))
+	}
+	return st
+}

@@ -1,0 +1,163 @@
+package apicmd
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/synth"
+	"repro/internal/trace"
+	"repro/internal/tracetest"
+)
+
+func TestRecordReplayRoundTrip(t *testing.T) {
+	w := tracetest.Tiny()
+	s := Record(w)
+	frames, err := Replay(s, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != w.NumFrames() {
+		t.Fatalf("frames = %d, want %d", len(frames), w.NumFrames())
+	}
+	for fi := range frames {
+		if frames[fi].Scene != w.Frames[fi].Scene {
+			t.Fatalf("frame %d scene changed", fi)
+		}
+		if len(frames[fi].Draws) != len(w.Frames[fi].Draws) {
+			t.Fatalf("frame %d draw count changed", fi)
+		}
+		for di := range frames[fi].Draws {
+			a, b := frames[fi].Draws[di], w.Frames[fi].Draws[di]
+			if a.VS != b.VS || a.PS != b.PS || a.RT != b.RT ||
+				a.VertexCount != b.VertexCount || a.CoverageFrac != b.CoverageFrac ||
+				a.BlendEnable != b.BlendEnable || a.DepthEnable != b.DepthEnable ||
+				a.MaterialID != b.MaterialID {
+				t.Fatalf("frame %d draw %d changed:\n%+v\n%+v", fi, di, a, b)
+			}
+			if len(a.Textures) != len(b.Textures) {
+				t.Fatalf("frame %d draw %d textures changed", fi, di)
+			}
+		}
+	}
+}
+
+func TestDeltaEncodingCompresses(t *testing.T) {
+	// Engine-batched workloads bind far less often than once per draw.
+	p := synth.Bioshock1Profile()
+	p.Name = "apicmdtest"
+	p.Frames = 4
+	p.MaterialsPerScene = 40
+	p.SharedMaterials = 8
+	p.Textures = 80
+	p.VSPool = 6
+	p.PSPool = 16
+	w, err := synth.Generate(p, 81)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Record(w)
+	st := s.Stats()
+	if st.Draws != w.NumDraws() || st.Frames != w.NumFrames() {
+		t.Fatalf("stats accounting: %d draws / %d frames", st.Draws, st.Frames)
+	}
+	// Draws of one material are contiguous, so binds/draw must be well
+	// below the full-state 6.
+	if st.BindsPerDraw >= 6 {
+		t.Errorf("binds/draw = %v; delta encoding not compressing", st.BindsPerDraw)
+	}
+	if st.ExpansionRatio <= 1 {
+		t.Errorf("expansion ratio = %v, want > 1", st.ExpansionRatio)
+	}
+	// Round trip at scale.
+	frames, err := Replay(s, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for fi := range frames {
+		total += len(frames[fi].Draws)
+	}
+	if total != w.NumDraws() {
+		t.Errorf("replayed draws = %d, want %d", total, w.NumDraws())
+	}
+}
+
+func TestReplayRejectsIncompleteState(t *testing.T) {
+	w := tracetest.Tiny()
+	// Draw with no prior binds.
+	s := &Stream{Commands: []Command{
+		{Op: OpDraw, VertexCount: 3, InstanceCount: 1, CoverageFrac: 0.1, Overdraw: 1, TexLocality: 1},
+		{Op: OpEndFrame, Scene: "x"},
+	}}
+	if _, err := Replay(s, w); err == nil || !strings.Contains(err.Error(), "incomplete state") {
+		t.Errorf("incomplete-state draw accepted: %v", err)
+	}
+}
+
+func TestReplayRejectsStructuralErrors(t *testing.T) {
+	w := tracetest.Tiny()
+	good := Record(w)
+
+	// Stream ending mid-frame.
+	cut := &Stream{Commands: good.Commands[:len(good.Commands)-1]}
+	if _, err := Replay(cut, w); err == nil || !strings.Contains(err.Error(), "mid-frame") {
+		t.Errorf("mid-frame stream accepted: %v", err)
+	}
+
+	// Empty frame.
+	empty := &Stream{Commands: []Command{{Op: OpEndFrame, Scene: "x"}}}
+	if _, err := Replay(empty, w); err == nil {
+		t.Error("empty frame accepted")
+	}
+
+	// No frames at all.
+	if _, err := Replay(&Stream{}, w); err == nil {
+		t.Error("empty stream accepted")
+	}
+
+	// Unknown opcode.
+	bad := &Stream{Commands: []Command{{Op: Op(99)}}}
+	if _, err := Replay(bad, w); err == nil {
+		t.Error("unknown opcode accepted")
+	}
+}
+
+func TestReplayValidatesResources(t *testing.T) {
+	w := tracetest.Tiny()
+	s := Record(w)
+	// Point a bind at a nonexistent texture; replay must catch it via
+	// workload validation.
+	for i := range s.Commands {
+		if s.Commands[i].Op == OpBindTextures && len(s.Commands[i].Textures) > 0 {
+			s.Commands[i].Textures = []trace.TextureID{99, 99}
+			break
+		}
+	}
+	if _, err := Replay(s, w); err == nil {
+		t.Error("dangling texture bind accepted")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	names := []string{"bind_vs", "bind_ps", "bind_textures", "set_rt", "set_blend", "set_depth", "draw", "end_frame"}
+	for op, want := range names {
+		if got := Op(op).String(); got != want {
+			t.Errorf("Op(%d) = %q, want %q", op, got, want)
+		}
+	}
+	if !strings.Contains(Op(99).String(), "99") {
+		t.Error("unknown op should embed value")
+	}
+}
+
+func TestStatsByOpAccounting(t *testing.T) {
+	w := tracetest.Tiny()
+	st := Record(w).Stats()
+	sum := 0
+	for _, n := range st.ByOp {
+		sum += n
+	}
+	if sum != st.Draws+st.Frames+st.Binds {
+		t.Errorf("ByOp sums to %d, buckets to %d", sum, st.Draws+st.Frames+st.Binds)
+	}
+}

@@ -1,0 +1,182 @@
+package apicmd
+
+import (
+	"fmt"
+
+	"repro/internal/shader"
+	"repro/internal/trace"
+)
+
+// Recorder converts expanded per-draw records into a delta-encoded
+// command stream: a bind command is emitted only when the bound state
+// actually changes, exactly as a capture interposer would record it.
+type Recorder struct {
+	stream Stream
+
+	// Current bound state; zero values mean "nothing bound yet".
+	vs       shader.ID
+	ps       shader.ID
+	textures []trace.TextureID
+	rt       trace.RTID
+	blend    bool
+	depth    bool
+	// first tracks whether any draw was recorded yet (the initial
+	// blend/depth state must be emitted explicitly even if false).
+	first bool
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{first: true} }
+
+// Draw records one draw call, emitting only the state deltas it needs.
+func (r *Recorder) Draw(d *trace.DrawCall) {
+	if r.first || d.VS != r.vs {
+		r.stream.Commands = append(r.stream.Commands, Command{Op: OpBindVS, VS: d.VS})
+		r.vs = d.VS
+	}
+	if r.first || d.PS != r.ps {
+		r.stream.Commands = append(r.stream.Commands, Command{Op: OpBindPS, PS: d.PS})
+		r.ps = d.PS
+	}
+	if r.first || !textureSetsEqual(r.textures, d.Textures) {
+		bound := make([]trace.TextureID, len(d.Textures))
+		copy(bound, d.Textures)
+		r.stream.Commands = append(r.stream.Commands, Command{Op: OpBindTextures, Textures: bound})
+		r.textures = bound
+	}
+	if r.first || d.RT != r.rt {
+		r.stream.Commands = append(r.stream.Commands, Command{Op: OpSetRenderTarget, RT: d.RT})
+		r.rt = d.RT
+	}
+	if r.first || d.BlendEnable != r.blend {
+		r.stream.Commands = append(r.stream.Commands, Command{Op: OpSetBlend, Enable: d.BlendEnable})
+		r.blend = d.BlendEnable
+	}
+	if r.first || d.DepthEnable != r.depth {
+		r.stream.Commands = append(r.stream.Commands, Command{Op: OpSetDepth, Enable: d.DepthEnable})
+		r.depth = d.DepthEnable
+	}
+	r.first = false
+	r.stream.Commands = append(r.stream.Commands, Command{
+		Op:            OpDraw,
+		VertexCount:   d.VertexCount,
+		InstanceCount: d.InstanceCount,
+		Topology:      d.Topology,
+		CoverageFrac:  d.CoverageFrac,
+		Overdraw:      d.Overdraw,
+		TexLocality:   d.TexLocality,
+		MaterialID:    d.MaterialID,
+	})
+}
+
+// EndFrame marks a frame boundary with its scene label.
+func (r *Recorder) EndFrame(scene string) {
+	r.stream.Commands = append(r.stream.Commands, Command{Op: OpEndFrame, Scene: scene})
+}
+
+// Stream returns the recorded stream.
+func (r *Recorder) Stream() *Stream { return &r.stream }
+
+// Record converts a whole workload into a command stream.
+func Record(w *trace.Workload) *Stream {
+	r := NewRecorder()
+	for fi := range w.Frames {
+		f := &w.Frames[fi]
+		for di := range f.Draws {
+			r.Draw(&f.Draws[di])
+		}
+		r.EndFrame(f.Scene)
+	}
+	return r.Stream()
+}
+
+// Replay expands a command stream back into frames against the given
+// resource context (shell or full workload). It validates that every
+// draw has complete state bound.
+func Replay(s *Stream, ctx *trace.Workload) ([]trace.Frame, error) {
+	var frames []trace.Frame
+	var cur []trace.DrawCall
+	var st struct {
+		vs, ps   shader.ID
+		textures []trace.TextureID
+		rt       trace.RTID
+		blend    bool
+		depth    bool
+		haveRT   bool
+	}
+	for i := range s.Commands {
+		c := &s.Commands[i]
+		switch c.Op {
+		case OpBindVS:
+			st.vs = c.VS
+		case OpBindPS:
+			st.ps = c.PS
+		case OpBindTextures:
+			st.textures = c.Textures
+		case OpSetRenderTarget:
+			st.rt = c.RT
+			st.haveRT = true
+		case OpSetBlend:
+			st.blend = c.Enable
+		case OpSetDepth:
+			st.depth = c.Enable
+		case OpDraw:
+			if st.vs == shader.InvalidID || st.ps == shader.InvalidID || !st.haveRT {
+				return nil, fmt.Errorf("apicmd: draw at command %d with incomplete state", i)
+			}
+			cur = append(cur, trace.DrawCall{
+				VertexCount:   c.VertexCount,
+				InstanceCount: c.InstanceCount,
+				Topology:      c.Topology,
+				VS:            st.vs,
+				PS:            st.ps,
+				Textures:      st.textures,
+				RT:            st.rt,
+				BlendEnable:   st.blend,
+				DepthEnable:   st.depth,
+				CoverageFrac:  c.CoverageFrac,
+				Overdraw:      c.Overdraw,
+				TexLocality:   c.TexLocality,
+				MaterialID:    c.MaterialID,
+			})
+		case OpEndFrame:
+			if len(cur) == 0 {
+				return nil, fmt.Errorf("apicmd: empty frame at command %d", i)
+			}
+			frames = append(frames, trace.Frame{Scene: c.Scene, Draws: cur})
+			cur = nil
+		default:
+			return nil, fmt.Errorf("apicmd: unknown opcode %d at command %d", c.Op, i)
+		}
+	}
+	if len(cur) > 0 {
+		return nil, fmt.Errorf("apicmd: stream ends mid-frame (%d draws without EndFrame)", len(cur))
+	}
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("apicmd: stream contains no frames")
+	}
+	// Validate the reconstruction against the resource context.
+	check := trace.Workload{
+		Name:          ctx.Name,
+		Frames:        frames,
+		Shaders:       ctx.Shaders,
+		Textures:      ctx.Textures,
+		RenderTargets: ctx.RenderTargets,
+	}
+	if err := check.Validate(); err != nil {
+		return nil, fmt.Errorf("apicmd: replayed stream invalid: %w", err)
+	}
+	return frames, nil
+}
+
+func textureSetsEqual(a, b []trace.TextureID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,156 @@
+// Package charz characterizes workloads on a GPU configuration: where
+// time goes (compute vs memory domain, which pipeline stage), where
+// DRAM traffic comes from, and how draw costs distribute. These are
+// the descriptive tables a workload-characterization study leads with
+// and the sanity layer for interpreting every subsetting result: a
+// clustering that looks great on a workload whose time all goes to one
+// stage is less informative than one exercising the full pipeline.
+package charz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/dcmath"
+	"repro/internal/gpu"
+	"repro/internal/trace"
+)
+
+// Breakdown aggregates the execution profile of a workload on one
+// configuration.
+type Breakdown struct {
+	Workload string
+	Config   string
+	Draws    int
+
+	Totals gpu.Totals
+
+	// Domain balance: draws whose bottleneck is the memory domain vs
+	// the core domain, and their time share.
+	MemoryBoundDraws int
+	MemoryBoundNs    float64
+
+	// StageDraws/StageNs decompose core-domain-limited draws by their
+	// limiting pipeline stage.
+	StageDraws map[string]int
+	StageNs    map[string]float64
+
+	// Traffic decomposition in bytes.
+	VertexBytes float64
+	TexBytes    float64
+	RTBytes     float64
+	DepthBytes  float64
+
+	// OverheadNs is total fixed per-draw front-end time.
+	OverheadNs float64
+
+	// CostHist is the distribution of log10 per-draw cost (ns).
+	CostHist *dcmath.Histogram
+
+	// MeanTexHitRate is the draw-weighted texture cache hit rate over
+	// texturing draws.
+	MeanTexHitRate float64
+	TexturingDraws int
+}
+
+// Characterize profiles every draw of the simulator's workload.
+func Characterize(sim *gpu.Simulator, w *trace.Workload) Breakdown {
+	b := Breakdown{
+		Workload:   w.Name,
+		Config:     sim.Config().Name,
+		StageDraws: map[string]int{},
+		StageNs:    map[string]float64{},
+		CostHist:   dcmath.NewHistogram(2, 8, 12), // log10(ns): 100 ns .. 100 ms
+	}
+	var hitSum float64
+	for fi := range w.Frames {
+		f := &w.Frames[fi]
+		for di := range f.Draws {
+			dc := sim.DrawCost(&f.Draws[di])
+			b.Draws++
+			b.Totals.Add(dc, 1)
+			b.VertexBytes += dc.VertexBytes
+			b.TexBytes += dc.TexBytes
+			b.RTBytes += dc.RTBytes
+			b.DepthBytes += dc.DepthBytes
+			b.OverheadNs += dc.OverheadNs
+			b.CostHist.Add(math.Log10(dc.TotalNs))
+			if dc.MemoryBound {
+				b.MemoryBoundDraws++
+				b.MemoryBoundNs += dc.TotalNs
+			} else {
+				stage := dc.BottleneckStage()
+				b.StageDraws[stage]++
+				b.StageNs[stage] += dc.TotalNs
+			}
+			if dc.TexBytes > 0 {
+				b.TexturingDraws++
+				hitSum += dc.TexHitRate
+			}
+		}
+	}
+	if b.TexturingDraws > 0 {
+		b.MeanTexHitRate = hitSum / float64(b.TexturingDraws)
+	}
+	return b
+}
+
+// Render writes the characterization tables.
+func (b Breakdown) Render(out io.Writer) {
+	fmt.Fprintf(out, "%s on %s: %d draws, %.1f ms total\n",
+		b.Workload, b.Config, b.Draws, b.Totals.TotalNs/1e6)
+
+	fmt.Fprintf(out, "  domain balance: %5.1f%% of draws memory-bound (%.1f%% of time)\n",
+		pct(b.MemoryBoundDraws, b.Draws), 100*b.MemoryBoundNs/b.Totals.TotalNs)
+
+	fmt.Fprintf(out, "  core-bound draws by limiting stage:\n")
+	stages := make([]string, 0, len(b.StageDraws))
+	for s := range b.StageDraws {
+		stages = append(stages, s)
+	}
+	sort.Slice(stages, func(i, j int) bool { return b.StageNs[stages[i]] > b.StageNs[stages[j]] })
+	for _, s := range stages {
+		fmt.Fprintf(out, "    %-8s %7.1f%% of draws  %6.1f%% of time\n",
+			s, pct(b.StageDraws[s], b.Draws), 100*b.StageNs[s]/b.Totals.TotalNs)
+	}
+
+	tb := b.VertexBytes + b.TexBytes + b.RTBytes + b.DepthBytes
+	if tb > 0 {
+		fmt.Fprintf(out, "  DRAM traffic %.2f GB: vertex %.1f%%  texture %.1f%%  color %.1f%%  depth %.1f%%\n",
+			tb/1e9, 100*b.VertexBytes/tb, 100*b.TexBytes/tb, 100*b.RTBytes/tb, 100*b.DepthBytes/tb)
+	}
+	fmt.Fprintf(out, "  texture cache: %.1f%% mean hit rate over %d texturing draws\n",
+		b.MeanTexHitRate*100, b.TexturingDraws)
+	fmt.Fprintf(out, "  front-end overhead: %.1f%% of total time\n",
+		100*b.OverheadNs/b.Totals.TotalNs)
+	fmt.Fprintf(out, "  per-draw cost distribution (log10 ns):\n")
+	for _, line := range splitLines(b.CostHist.Render(40)) {
+		fmt.Fprintf(out, "    %s\n", line)
+	}
+}
+
+func pct(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(total)
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

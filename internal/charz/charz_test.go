@@ -1,0 +1,116 @@
+package charz
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/synth"
+	"repro/internal/trace"
+	"repro/internal/tracetest"
+)
+
+func charzSim(t *testing.T, w *trace.Workload) *gpu.Simulator {
+	t.Helper()
+	sim, err := gpu.NewSimulator(gpu.BaseConfig(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+func TestCharacterizeFixture(t *testing.T) {
+	w := tracetest.Tiny()
+	b := Characterize(charzSim(t, w), w)
+	if b.Draws != w.NumDraws() {
+		t.Fatalf("draws = %d, want %d", b.Draws, w.NumDraws())
+	}
+	if b.Totals.TotalNs <= 0 {
+		t.Fatal("no time accumulated")
+	}
+	// Every draw lands in exactly one bottleneck bucket.
+	stageSum := 0
+	for _, n := range b.StageDraws {
+		stageSum += n
+	}
+	if stageSum+b.MemoryBoundDraws != b.Draws {
+		t.Errorf("bottleneck buckets sum to %d of %d", stageSum+b.MemoryBoundDraws, b.Draws)
+	}
+	// Time decomposition covers all time.
+	var stageNs float64
+	for _, ns := range b.StageNs {
+		stageNs += ns
+	}
+	if math.Abs(stageNs+b.MemoryBoundNs-b.Totals.TotalNs) > 1e-6 {
+		t.Errorf("time buckets %v != total %v", stageNs+b.MemoryBoundNs, b.Totals.TotalNs)
+	}
+	// The fixture has texturing draws.
+	if b.TexturingDraws == 0 || b.MeanTexHitRate <= 0 || b.MeanTexHitRate > 1 {
+		t.Errorf("texture stats: %d draws, hit %v", b.TexturingDraws, b.MeanTexHitRate)
+	}
+	if b.CostHist.Total() != b.Draws {
+		t.Errorf("histogram holds %d of %d draws", b.CostHist.Total(), b.Draws)
+	}
+}
+
+func TestCharacterizeTrafficDecomposition(t *testing.T) {
+	w := tracetest.Tiny()
+	b := Characterize(charzSim(t, w), w)
+	sum := b.VertexBytes + b.TexBytes + b.RTBytes + b.DepthBytes
+	if math.Abs(sum-b.Totals.TrafficBytes) > 1e-6 {
+		t.Errorf("traffic decomposition %v != total %v", sum, b.Totals.TrafficBytes)
+	}
+	if b.VertexBytes <= 0 || b.RTBytes <= 0 {
+		t.Error("expected vertex and color traffic")
+	}
+}
+
+func TestCharacterizeSyntheticGame(t *testing.T) {
+	p := synth.Bioshock1Profile()
+	p.Name = "charztest"
+	p.Frames = 8
+	p.MaterialsPerScene = 40
+	p.SharedMaterials = 8
+	p.Textures = 80
+	p.VSPool = 6
+	p.PSPool = 16
+	w, err := synth.Generate(p, 71)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := Characterize(charzSim(t, w), w)
+	// A realistic frame mixes regimes: neither domain owns everything.
+	memShare := b.MemoryBoundNs / b.Totals.TotalNs
+	if memShare < 0.02 || memShare > 0.98 {
+		t.Errorf("memory-bound time share = %v; degenerate balance", memShare)
+	}
+	if len(b.StageDraws) < 2 {
+		t.Errorf("only %d limiting stages seen", len(b.StageDraws))
+	}
+}
+
+func TestRender(t *testing.T) {
+	w := tracetest.Tiny()
+	b := Characterize(charzSim(t, w), w)
+	var buf bytes.Buffer
+	b.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"domain balance", "DRAM traffic", "texture cache", "overhead", "distribution"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBottleneckStage(t *testing.T) {
+	dc := gpu.DrawCost{VSCycles: 5, SetupCycles: 1, RasterCycles: 2, PSCycles: 9, ROPCycles: 3}
+	if got := dc.BottleneckStage(); got != "ps" {
+		t.Errorf("BottleneckStage = %q", got)
+	}
+	dc = gpu.DrawCost{VSCycles: 5}
+	if got := dc.BottleneckStage(); got != "vs" {
+		t.Errorf("BottleneckStage = %q", got)
+	}
+}

@@ -1,0 +1,50 @@
+package cluster_test
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/dcmath"
+	"repro/internal/linalg"
+)
+
+// Leader clustering groups near-duplicate feature vectors in one pass:
+// the common case for draw calls, where an engine submits the same
+// material many times with small jitter.
+func ExampleLeader() {
+	x := linalg.FromRows([][]float64{
+		{0.0, 0.0}, {0.1, 0.0}, {0.0, 0.1}, // material A
+		{5.0, 5.0}, {5.1, 5.0}, // material B
+		{9.0, 0.0}, // material C
+	})
+	res, err := cluster.Leader(x, 1.0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("clusters:", res.K)
+	fmt.Println("sizes:", res.Sizes())
+	fmt.Printf("efficiency: %.2f\n", res.Efficiency())
+	// Output:
+	// clusters: 3
+	// sizes: [3 2 1]
+	// efficiency: 0.50
+}
+
+// SelectKByBIC finds the cluster count automatically when no
+// threshold is known.
+func ExampleSelectKByBIC() {
+	rng := dcmath.NewRNG(1)
+	x := linalg.NewMatrix(90, 2)
+	for i := 0; i < 90; i++ {
+		c := i % 3
+		x.Set(i, 0, float64(c)*10+rng.Normal(0, 0.3))
+		x.Set(i, 1, rng.Normal(0, 0.3))
+	}
+	sel, err := cluster.SelectKByBIC(x, 1, 20, dcmath.NewRNG(2), 50)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("selected K:", sel.K)
+	// Output:
+	// selected K: 3
+}

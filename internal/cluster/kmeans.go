@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/dcmath"
+	"repro/internal/linalg"
+)
+
+// KMeans runs Lloyd's algorithm with k-means++ seeding. k is clamped
+// to the number of points. Empty clusters are reseeded from the point
+// farthest from its centroid. Iteration stops at convergence (no
+// assignment changes) or maxIter.
+func KMeans(x *linalg.Matrix, k int, rng *dcmath.RNG, maxIter int) (Result, error) {
+	n := x.Rows
+	if k <= 0 {
+		return Result{}, fmt.Errorf("cluster: kmeans k=%d", k)
+	}
+	if maxIter <= 0 {
+		return Result{}, fmt.Errorf("cluster: kmeans maxIter=%d", maxIter)
+	}
+	if k > n {
+		k = n
+	}
+	cent := seedPlusPlus(x, k, rng)
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		changed := 0
+		for i := 0; i < n; i++ {
+			row := x.Row(i)
+			best, bestD := 0, linalg.SqDist(row, cent.Row(0))
+			for c := 1; c < k; c++ {
+				if d := sqDistEarlyExit(row, cent.Row(c), bestD); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed++
+			}
+		}
+		cent = computeCentroids(x, assign, k)
+		reseedEmpty(x, cent, assign, k)
+		if changed == 0 {
+			break
+		}
+	}
+	return Result{Assign: assign, K: k, Centroids: cent}, nil
+}
+
+// seedPlusPlus picks k initial centroids with the k-means++ rule:
+// first uniform, then proportional to squared distance from the
+// nearest chosen centroid.
+func seedPlusPlus(x *linalg.Matrix, k int, rng *dcmath.RNG) *linalg.Matrix {
+	n := x.Rows
+	cent := linalg.NewMatrix(k, x.Cols)
+	first := rng.Intn(n)
+	copy(cent.Row(0), x.Row(first))
+	d2 := make([]float64, n)
+	for i := range d2 {
+		d2[i] = linalg.SqDist(x.Row(i), cent.Row(0))
+	}
+	for c := 1; c < k; c++ {
+		var total float64
+		for _, d := range d2 {
+			total += d
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.Intn(n) // all points identical; any choice works
+		} else {
+			target := rng.Float64() * total
+			var acc float64
+			for i, d := range d2 {
+				acc += d
+				if acc >= target {
+					pick = i
+					break
+				}
+			}
+		}
+		copy(cent.Row(c), x.Row(pick))
+		for i := range d2 {
+			if d := linalg.SqDist(x.Row(i), cent.Row(c)); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return cent
+}
+
+// reseedEmpty moves any empty cluster's centroid onto the point
+// farthest from its current centroid, then reassigns that point.
+func reseedEmpty(x *linalg.Matrix, cent *linalg.Matrix, assign []int, k int) {
+	sizes := make([]int, k)
+	for _, c := range assign {
+		sizes[c]++
+	}
+	for c := 0; c < k; c++ {
+		if sizes[c] > 0 {
+			continue
+		}
+		worstI, worstD := -1, -1.0
+		for i, a := range assign {
+			if sizes[a] <= 1 {
+				continue // don't orphan another cluster
+			}
+			if d := linalg.SqDist(x.Row(i), cent.Row(a)); d > worstD {
+				worstI, worstD = i, d
+			}
+		}
+		if worstI < 0 {
+			continue
+		}
+		copy(cent.Row(c), x.Row(worstI))
+		sizes[assign[worstI]]--
+		assign[worstI] = c
+		sizes[c]++
+	}
+}

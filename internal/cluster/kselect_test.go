@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/dcmath"
+	"repro/internal/linalg"
+)
+
+func TestSelectKByBICFindsBlobCount(t *testing.T) {
+	x, _ := blobs(240, 4, 0.3, 21)
+	sel, err := SelectKByBIC(x, 1, 30, dcmath.NewRNG(1), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.K != 4 {
+		t.Errorf("selected K = %d, want 4 (scores %v at %v)", sel.K, sel.Scores, sel.Candidates)
+	}
+	if err := sel.Result.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Candidates) != len(sel.Scores) {
+		t.Error("candidates/scores length mismatch")
+	}
+}
+
+func TestSelectKByBICRangeHandling(t *testing.T) {
+	x, _ := blobs(20, 2, 0.3, 22)
+	if _, err := SelectKByBIC(x, 0, 5, dcmath.NewRNG(1), 20); err == nil {
+		t.Error("kMin 0 accepted")
+	}
+	if _, err := SelectKByBIC(x, 5, 2, dcmath.NewRNG(1), 20); err == nil {
+		t.Error("inverted range accepted")
+	}
+	// kMax beyond n clamps.
+	sel, err := SelectKByBIC(x, 1, 500, dcmath.NewRNG(1), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.K > 20 {
+		t.Errorf("selected K %d exceeds point count", sel.K)
+	}
+}
+
+func TestSelectKByBICSingleCandidate(t *testing.T) {
+	x, _ := blobs(30, 3, 0.3, 23)
+	sel, err := SelectKByBIC(x, 3, 3, dcmath.NewRNG(2), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.K != 3 || len(sel.Candidates) != 1 {
+		t.Errorf("single-candidate selection: K=%d candidates=%v", sel.K, sel.Candidates)
+	}
+}
+
+func TestGeometricCandidates(t *testing.T) {
+	got := geometricCandidates(2, 256, 8)
+	if got[0] != 2 || got[len(got)-1] != 256 {
+		t.Fatalf("endpoints missing: %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("not strictly increasing: %v", got)
+		}
+	}
+	if one := geometricCandidates(5, 5, 4); len(one) != 1 || one[0] != 5 {
+		t.Errorf("degenerate range: %v", one)
+	}
+}
+
+func TestSelectKPrefersFewClustersOnUniformData(t *testing.T) {
+	// Structureless data: BIC's penalty should keep K small relative
+	// to the allowed maximum.
+	rng := dcmath.NewRNG(24)
+	x := blobsUniform(200, rng)
+	sel, err := SelectKByBIC(x, 1, 64, dcmath.NewRNG(3), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.K > 32 {
+		t.Errorf("uniform data selected K = %d; penalty too weak", sel.K)
+	}
+}
+
+func blobsUniform(n int, rng *dcmath.RNG) *linalg.Matrix {
+	x := linalg.NewMatrix(n, 2)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, rng.Float64())
+		x.Set(i, 1, rng.Float64())
+	}
+	return x
+}

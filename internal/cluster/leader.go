@@ -1,0 +1,49 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// Leader performs single-pass leader clustering: each point joins the
+// nearest existing leader within threshold (L2 distance), or founds a
+// new cluster. Leaders are the founding points; centroids are
+// recomputed as member means afterwards.
+//
+// Leader clustering is order-dependent by construction. That is a
+// feature here: draws arrive in submission order, and game engines
+// batch draws of one material contiguously, so the first draw of a
+// batch naturally becomes its leader.
+func Leader(x *linalg.Matrix, threshold float64) (Result, error) {
+	if threshold <= 0 {
+		return Result{}, fmt.Errorf("cluster: leader threshold %v <= 0", threshold)
+	}
+	n := x.Rows
+	limit := threshold * threshold
+	assign := make([]int, n)
+	var leaders []int // point index of each cluster's founder
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		best := -1
+		bestD := limit
+		for c, li := range leaders {
+			d := sqDistEarlyExit(row, x.Row(li), bestD)
+			if d <= bestD {
+				best = c
+				bestD = d
+			}
+		}
+		if best == -1 {
+			best = len(leaders)
+			leaders = append(leaders, i)
+		}
+		assign[i] = best
+	}
+	res := Result{
+		Assign:    assign,
+		K:         len(leaders),
+		Centroids: computeCentroids(x, assign, len(leaders)),
+	}
+	return res, nil
+}

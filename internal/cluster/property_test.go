@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dcmath"
+	"repro/internal/linalg"
+)
+
+// randomPoints builds a matrix of n points in d dims from rng.
+func randomPoints(rng *dcmath.RNG, n, d int, spread float64) *linalg.Matrix {
+	x := linalg.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			x.Set(i, j, rng.Normal(0, spread))
+		}
+	}
+	return x
+}
+
+// Property: in leader clustering, every member lies within the
+// threshold of its cluster's founder (the first member).
+func TestLeaderThresholdInvariantProperty(t *testing.T) {
+	rng := dcmath.NewRNG(100)
+	f := func(nRaw, dRaw uint8, thRaw uint16) bool {
+		n := int(nRaw%60) + 2
+		d := int(dRaw%6) + 1
+		th := 0.05 + float64(thRaw%400)/100 // 0.05 .. 4.05
+		x := randomPoints(rng, n, d, 2)
+		res, err := Leader(x, th)
+		if err != nil {
+			return false
+		}
+		founders := make([]int, res.K)
+		for c := range founders {
+			founders[c] = -1
+		}
+		for i, c := range res.Assign {
+			if founders[c] == -1 {
+				founders[c] = i // first member in point order is the founder
+			}
+		}
+		for i, c := range res.Assign {
+			if linalg.L2Dist(x.Row(i), x.Row(founders[c])) > th+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every clustering algorithm returns a structurally valid
+// result on arbitrary data (no empty clusters, all points assigned).
+func TestAlgorithmsStructurallyValidProperty(t *testing.T) {
+	rng := dcmath.NewRNG(101)
+	f := func(nRaw, dRaw, kRaw uint8) bool {
+		n := int(nRaw%40) + 2
+		d := int(dRaw%5) + 1
+		k := int(kRaw%10) + 1
+		x := randomPoints(rng, n, d, 3)
+
+		lead, err := Leader(x, 1.0)
+		if err != nil || lead.Validate() != nil {
+			return false
+		}
+		km, err := KMeans(x, k, dcmath.NewRNG(uint64(n*d*k)), 30)
+		if err != nil || km.Validate() != nil {
+			return false
+		}
+		agg, err := Agglomerative(x, 1.0)
+		if err != nil || agg.Validate() != nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: medoids minimize distance to centroid within their
+// cluster, and weights (sizes) sum to the point count.
+func TestMedoidWeightInvariantProperty(t *testing.T) {
+	rng := dcmath.NewRNG(102)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%50) + 3
+		x := randomPoints(rng, n, 3, 2)
+		res, err := Leader(x, 1.5)
+		if err != nil {
+			return false
+		}
+		sizes := res.Sizes()
+		total := 0
+		for _, s := range sizes {
+			total += s
+		}
+		if total != n {
+			return false
+		}
+		meds := res.Medoids(x)
+		members := res.Members()
+		for c, m := range meds {
+			md := linalg.SqDist(x.Row(m), res.Centroids.Row(c))
+			for _, i := range members[c] {
+				if linalg.SqDist(x.Row(i), res.Centroids.Row(c)) < md-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: WithinSS never increases when k grows (k-means with more
+// clusters can always do at least as well on its own objective, up to
+// local-minimum noise — allow a small slack for that).
+func TestWithinSSMostlyMonotoneInK(t *testing.T) {
+	rng := dcmath.NewRNG(103)
+	x := randomPoints(rng, 120, 3, 4)
+	prev := -1.0
+	violations := 0
+	for _, k := range []int{1, 2, 4, 8, 16, 32} {
+		res, err := KMeans(x, k, dcmath.NewRNG(uint64(k)), 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wss := WithinSS(x, &res)
+		if prev >= 0 && wss > prev*1.05 {
+			violations++
+		}
+		prev = wss
+	}
+	if violations > 1 {
+		t.Errorf("WithinSS rose with k %d times; optimizer is broken", violations)
+	}
+}

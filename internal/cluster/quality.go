@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// Silhouette returns the mean silhouette coefficient of the clustering
+// in [-1, 1]; higher is better. Points in singleton clusters contribute
+// 0 (the standard convention). O(n^2): intended for quality audits on
+// single frames, not corpus sweeps.
+func Silhouette(x *linalg.Matrix, r *Result) float64 {
+	n := x.Rows
+	if n < 2 || r.K < 2 {
+		return 0
+	}
+	sizes := r.Sizes()
+	var total float64
+	for i := 0; i < n; i++ {
+		ci := r.Assign[i]
+		if sizes[ci] <= 1 {
+			continue // contributes 0
+		}
+		// Mean distance to own cluster (a) and nearest other cluster (b).
+		sums := make([]float64, r.K)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			sums[r.Assign[j]] += linalg.L2Dist(x.Row(i), x.Row(j))
+		}
+		a := sums[ci] / float64(sizes[ci]-1)
+		b := math.Inf(1)
+		for c := 0; c < r.K; c++ {
+			if c == ci || sizes[c] == 0 {
+				continue
+			}
+			if m := sums[c] / float64(sizes[c]); m < b {
+				b = m
+			}
+		}
+		if m := math.Max(a, b); m > 0 {
+			total += (b - a) / m
+		}
+	}
+	return total / float64(n)
+}
+
+// DaviesBouldin returns the Davies-Bouldin index of the clustering;
+// lower is better. Returns 0 for fewer than two clusters.
+func DaviesBouldin(x *linalg.Matrix, r *Result) float64 {
+	if r.K < 2 {
+		return 0
+	}
+	sizes := r.Sizes()
+	// Scatter: mean distance of members to their centroid.
+	scatter := make([]float64, r.K)
+	for i, c := range r.Assign {
+		scatter[c] += linalg.L2Dist(x.Row(i), r.Centroids.Row(c))
+	}
+	for c := range scatter {
+		if sizes[c] > 0 {
+			scatter[c] /= float64(sizes[c])
+		}
+	}
+	var sum float64
+	for i := 0; i < r.K; i++ {
+		worst := 0.0
+		for j := 0; j < r.K; j++ {
+			if i == j {
+				continue
+			}
+			sep := linalg.L2Dist(r.Centroids.Row(i), r.Centroids.Row(j))
+			if sep == 0 {
+				continue
+			}
+			if v := (scatter[i] + scatter[j]) / sep; v > worst {
+				worst = v
+			}
+		}
+		sum += worst
+	}
+	return sum / float64(r.K)
+}
+
+// WithinSS returns the total within-cluster sum of squared distances to
+// centroids — the k-means objective, used by sweep diagnostics.
+func WithinSS(x *linalg.Matrix, r *Result) float64 {
+	var ss float64
+	for i, c := range r.Assign {
+		ss += linalg.SqDist(x.Row(i), r.Centroids.Row(c))
+	}
+	return ss
+}

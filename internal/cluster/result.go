@@ -1,0 +1,135 @@
+// Package cluster groups draw-call feature vectors by similarity.
+//
+// The paper's operating regime (65.8% average clustering efficiency at
+// ~1.2K draws per frame) implies hundreds of clusters per frame —
+// near-duplicate grouping rather than coarse partitioning. Leader
+// clustering over normalized features is therefore the default; k-means
+// and agglomerative average-linkage are provided as ablation arms.
+//
+// All algorithms operate on a pre-normalized matrix (rows = points);
+// normalization policy lives with the caller (see internal/linalg
+// normalizers) because it is itself an ablated design choice.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// Result is a clustering of n points into K clusters.
+type Result struct {
+	// Assign maps point index -> cluster id in [0, K).
+	Assign []int
+	// K is the number of clusters.
+	K int
+	// Centroids holds the K cluster centers (mean of members).
+	Centroids *linalg.Matrix
+}
+
+// Sizes returns the member count of each cluster.
+func (r *Result) Sizes() []int {
+	sizes := make([]int, r.K)
+	for _, c := range r.Assign {
+		sizes[c]++
+	}
+	return sizes
+}
+
+// Members returns the point indices of each cluster, in point order.
+func (r *Result) Members() [][]int {
+	m := make([][]int, r.K)
+	for i, c := range r.Assign {
+		m[c] = append(m[c], i)
+	}
+	return m
+}
+
+// Efficiency returns the paper's clustering-efficiency metric:
+// 1 - K/n, the fraction of per-draw simulations avoided when only one
+// representative per cluster is simulated.
+func (r *Result) Efficiency() float64 {
+	n := len(r.Assign)
+	if n == 0 {
+		return 0
+	}
+	return 1 - float64(r.K)/float64(n)
+}
+
+// Validate checks structural invariants: every point assigned to a
+// live cluster, no empty clusters, centroid matrix of matching shape.
+func (r *Result) Validate() error {
+	if r.K <= 0 && len(r.Assign) > 0 {
+		return fmt.Errorf("cluster: %d points but K=%d", len(r.Assign), r.K)
+	}
+	sizes := make([]int, r.K)
+	for i, c := range r.Assign {
+		if c < 0 || c >= r.K {
+			return fmt.Errorf("cluster: point %d assigned to %d of %d", i, c, r.K)
+		}
+		sizes[c]++
+	}
+	for c, s := range sizes {
+		if s == 0 {
+			return fmt.Errorf("cluster: cluster %d is empty", c)
+		}
+	}
+	if r.Centroids == nil {
+		return fmt.Errorf("cluster: nil centroids")
+	}
+	if r.Centroids.Rows != r.K {
+		return fmt.Errorf("cluster: %d centroids for K=%d", r.Centroids.Rows, r.K)
+	}
+	return nil
+}
+
+// Medoids returns, for each cluster, the index of the member closest
+// to the cluster centroid — the representative the subset simulates.
+func (r *Result) Medoids(x *linalg.Matrix) []int {
+	best := make([]int, r.K)
+	bestD := make([]float64, r.K)
+	for c := range best {
+		best[c] = -1
+	}
+	for i, c := range r.Assign {
+		d := linalg.SqDist(x.Row(i), r.Centroids.Row(c))
+		if best[c] == -1 || d < bestD[c] {
+			best[c] = i
+			bestD[c] = d
+		}
+	}
+	return best
+}
+
+// computeCentroids recomputes centroids as member means; shared by the
+// algorithms.
+func computeCentroids(x *linalg.Matrix, assign []int, k int) *linalg.Matrix {
+	cent := linalg.NewMatrix(k, x.Cols)
+	counts := make([]float64, k)
+	for i, c := range assign {
+		linalg.Axpy(1, x.Row(i), cent.Row(c))
+		counts[c]++
+	}
+	for c := 0; c < k; c++ {
+		if counts[c] > 0 {
+			linalg.Scale(1/counts[c], cent.Row(c))
+		}
+	}
+	return cent
+}
+
+// sqDistEarlyExit computes squared L2 distance but bails out as soon as
+// the partial sum exceeds limit. Leader clustering spends nearly all of
+// its time rejecting far-away leaders, so the early exit is the
+// difference between minutes and seconds at corpus scale.
+func sqDistEarlyExit(a, b []float64, limit float64) float64 {
+	var s float64
+	for i, x := range a {
+		d := x - b[i]
+		s += d * d
+		if s > limit {
+			return s
+		}
+	}
+	return s
+}

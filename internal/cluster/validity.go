@@ -1,0 +1,72 @@
+package cluster
+
+import "fmt"
+
+// External cluster-validity measures: comparing a clustering against
+// ground-truth labels. The synthetic generator records each draw's
+// engine material id; these measures quantify how faithfully feature
+// clustering rediscovers the material structure (experiment E21).
+
+// Purity returns the weighted fraction of points that belong to their
+// cluster's majority label, in (0, 1]. 1 = every cluster is
+// label-pure. It errors on length mismatch or empty input.
+func Purity(assign []int, labels []int) (float64, error) {
+	if len(assign) == 0 || len(assign) != len(labels) {
+		return 0, fmt.Errorf("cluster: purity over %d assignments, %d labels", len(assign), len(labels))
+	}
+	counts := map[[2]int]int{} // (cluster, label) -> count
+	for i, c := range assign {
+		counts[[2]int{c, labels[i]}]++
+	}
+	majority := map[int]int{}
+	for k, n := range counts {
+		if n > majority[k[0]] {
+			majority[k[0]] = n
+		}
+	}
+	total := 0
+	for _, n := range majority {
+		total += n
+	}
+	return float64(total) / float64(len(assign)), nil
+}
+
+// AdjustedRandIndex returns the chance-corrected agreement between a
+// clustering and ground-truth labels: 1 for identical partitions, ~0
+// for independent ones, negative for worse-than-chance. It errors on
+// length mismatch or empty input.
+func AdjustedRandIndex(assign []int, labels []int) (float64, error) {
+	n := len(assign)
+	if n == 0 || n != len(labels) {
+		return 0, fmt.Errorf("cluster: ARI over %d assignments, %d labels", n, len(labels))
+	}
+	// Contingency table and marginals.
+	joint := map[[2]int]int{}
+	aCount := map[int]int{}
+	bCount := map[int]int{}
+	for i := range assign {
+		joint[[2]int{assign[i], labels[i]}]++
+		aCount[assign[i]]++
+		bCount[labels[i]]++
+	}
+	choose2 := func(m int) float64 { return float64(m) * float64(m-1) / 2 }
+	var sumJoint, sumA, sumB float64
+	for _, m := range joint {
+		sumJoint += choose2(m)
+	}
+	for _, m := range aCount {
+		sumA += choose2(m)
+	}
+	for _, m := range bCount {
+		sumB += choose2(m)
+	}
+	totalPairs := choose2(n)
+	expected := sumA * sumB / totalPairs
+	maxIndex := (sumA + sumB) / 2
+	if maxIndex == expected {
+		// Degenerate partitions (e.g. everything in one cluster on both
+		// sides): identical by convention.
+		return 1, nil
+	}
+	return (sumJoint - expected) / (maxIndex - expected), nil
+}

@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dcmath"
+)
+
+func TestPurity(t *testing.T) {
+	// Cluster 0 = {a, a, b}, cluster 1 = {b, b}: purity = (2+2)/5.
+	assign := []int{0, 0, 0, 1, 1}
+	labels := []int{1, 1, 2, 2, 2}
+	got, err := Purity(assign, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.8 {
+		t.Errorf("purity = %v, want 0.8", got)
+	}
+	perfect, _ := Purity([]int{0, 0, 1, 1}, []int{5, 5, 9, 9})
+	if perfect != 1 {
+		t.Errorf("perfect purity = %v", perfect)
+	}
+	if _, err := Purity([]int{1}, []int{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Purity(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestAdjustedRandIndexIdentical(t *testing.T) {
+	assign := []int{0, 0, 1, 1, 2, 2}
+	labels := []int{10, 10, 20, 20, 30, 30}
+	got, err := AdjustedRandIndex(assign, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("identical partitions ARI = %v", got)
+	}
+}
+
+func TestAdjustedRandIndexIndependent(t *testing.T) {
+	// Random labels vs random clusters: ARI near 0.
+	rng := dcmath.NewRNG(5)
+	n := 5000
+	assign := make([]int, n)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		assign[i] = rng.Intn(8)
+		labels[i] = rng.Intn(8)
+	}
+	got, err := AdjustedRandIndex(assign, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got) > 0.02 {
+		t.Errorf("independent partitions ARI = %v, want ~0", got)
+	}
+}
+
+func TestAdjustedRandIndexKnownValue(t *testing.T) {
+	// Hand-checked small case: 6 points, one point moved across.
+	assign := []int{0, 0, 0, 1, 1, 1}
+	labels := []int{0, 0, 1, 1, 1, 1}
+	got, err := AdjustedRandIndex(assign, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sumJoint = C(2,2)+C(1,2)+C(3,2) = 1+0+3 = 4; sumA = 3+3 = 6;
+	// sumB = C(2,2)+C(4,2) = 1+6 = 7; total = 15; expected = 42/15 = 2.8;
+	// max = 6.5; ARI = (4-2.8)/(6.5-2.8) = 1.2/3.7.
+	want := 1.2 / 3.7
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("ARI = %v, want %v", got, want)
+	}
+}
+
+func TestAdjustedRandIndexDegenerate(t *testing.T) {
+	got, err := AdjustedRandIndex([]int{0, 0, 0}, []int{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("single-cluster-both-sides ARI = %v, want 1", got)
+	}
+	if _, err := AdjustedRandIndex([]int{1}, []int{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestValidityOnBlobs(t *testing.T) {
+	// Leader clustering on well-separated blobs must align with ground
+	// truth almost perfectly under both measures.
+	x, labels := blobs(300, 4, 0.3, 33)
+	res, err := Leader(x, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ari, err := AdjustedRandIndex(res.Assign, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari < 0.99 {
+		t.Errorf("blob ARI = %v", ari)
+	}
+	pur, err := Purity(res.Assign, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pur < 0.99 {
+		t.Errorf("blob purity = %v", pur)
+	}
+}

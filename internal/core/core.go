@@ -1,0 +1,173 @@
+// Package core is the paper's contribution assembled end-to-end: the
+// Subsetter extracts a representative subset from a 3D workload by
+// combining draw-call clustering (intra-frame) with shader-vector
+// phase detection (inter-frame), evaluates the clustering with the
+// paper's quality metrics, and validates the subset by checking that
+// its frequency-scaling behaviour tracks the parent workload.
+//
+// Typical use:
+//
+//	w, _ := synth.Generate(synth.Bioshock1Profile(), seed)
+//	sub, _ := core.New(core.DefaultOptions())
+//	report, _ := sub.Run(w)
+//	report.Render(os.Stdout)
+//
+// The report carries everything a pathfinding study needs: the subset
+// itself (report.Subset), its size ratio, per-frame clustering quality,
+// the phase structure, and the validation sweep.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/gpu"
+	"repro/internal/metrics"
+	"repro/internal/phase"
+	"repro/internal/subset"
+	"repro/internal/sweep"
+	"repro/internal/trace"
+)
+
+// Options configures the full pipeline.
+type Options struct {
+	// Subset carries the clustering method and phase-detection options.
+	Subset subset.Options
+
+	// OutlierThreshold defines cluster outliers (paper: 0.20).
+	OutlierThreshold float64
+
+	// Oracle is the GPU configuration used as the cost oracle for
+	// clustering evaluation and as the base of the validation sweep.
+	Oracle gpu.Config
+
+	// ValidationClocks is the core-clock sweep used to validate the
+	// subset. At least two clocks; nil disables validation.
+	ValidationClocks []float64
+
+	// SkipClusteringEval disables the per-frame clustering evaluation
+	// (which prices every draw of every frame — the expensive part)
+	// when only the subset is wanted.
+	SkipClusteringEval bool
+}
+
+// DefaultOptions returns the experiment configuration.
+func DefaultOptions() Options {
+	return Options{
+		Subset:           subset.DefaultOptions(),
+		OutlierThreshold: metrics.DefaultOutlierThreshold,
+		Oracle:           gpu.BaseConfig(),
+		ValidationClocks: sweep.DefaultCoreClocks(),
+	}
+}
+
+// Subsetter runs the pipeline. Construct with New.
+type Subsetter struct {
+	opt Options
+}
+
+// New validates the options.
+func New(opt Options) (*Subsetter, error) {
+	if err := opt.Oracle.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.OutlierThreshold <= 0 {
+		return nil, fmt.Errorf("core: outlier threshold %v <= 0", opt.OutlierThreshold)
+	}
+	if len(opt.ValidationClocks) == 1 {
+		return nil, fmt.Errorf("core: validation sweep needs >= 2 clocks")
+	}
+	return &Subsetter{opt: opt}, nil
+}
+
+// Report is the outcome of one pipeline run.
+type Report struct {
+	// Summary describes the input workload.
+	Summary trace.Summary
+
+	// Clustering is the per-frame quality evaluation (nil when
+	// SkipClusteringEval was set).
+	Clustering *metrics.WorkloadReport
+
+	// Detection is the phase structure.
+	Detection phase.Detection
+
+	// Subset is the deliverable.
+	Subset *subset.Subset
+
+	// SizeRatio is subset draws / parent draws.
+	SizeRatio float64
+
+	// Validation is the frequency-scaling check (zero value when
+	// validation was disabled).
+	Validation sweep.Result
+	Validated  bool
+}
+
+// Run executes the pipeline on one workload.
+func (s *Subsetter) Run(w *trace.Workload) (*Report, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	rep := &Report{Summary: trace.Summarize(w)}
+
+	if !s.opt.SkipClusteringEval {
+		sim, err := gpu.NewSimulator(s.opt.Oracle, w)
+		if err != nil {
+			return nil, err
+		}
+		fc, err := subset.NewFrameClusterer(w, s.opt.Subset.Method)
+		if err != nil {
+			return nil, err
+		}
+		wr, err := metrics.EvaluateWorkload(sim, w, fc, s.opt.OutlierThreshold)
+		if err != nil {
+			return nil, err
+		}
+		rep.Clustering = &wr
+	}
+
+	sub, err := subset.Build(w, s.opt.Subset)
+	if err != nil {
+		return nil, err
+	}
+	if err := sub.Validate(); err != nil {
+		return nil, fmt.Errorf("core: built subset invalid: %w", err)
+	}
+	rep.Subset = sub
+	rep.Detection = sub.Detection
+	rep.SizeRatio = sub.SizeRatio()
+
+	if len(s.opt.ValidationClocks) >= 2 {
+		res, err := sweep.Run(w, sub, sweep.CoreClockSweep(s.opt.Oracle, s.opt.ValidationClocks))
+		if err != nil {
+			return nil, err
+		}
+		rep.Validation = res
+		rep.Validated = true
+	}
+	return rep, nil
+}
+
+// PhaseTimeline re-exposes the detection timeline for callers that
+// only hold a Report.
+func (r *Report) PhaseTimeline() string { return r.Detection.Timeline() }
+
+// Render writes a human-readable report.
+func (r *Report) Render(out io.Writer) {
+	fmt.Fprintf(out, "workload %s: %d frames, %d draws (%.1f draws/frame)\n",
+		r.Summary.Name, r.Summary.Frames, r.Summary.Draws, r.Summary.DrawsPerFrame)
+	if r.Clustering != nil {
+		fmt.Fprintf(out, "clustering: mean prediction error %.2f%%, efficiency %.1f%%, outliers %.1f%% (max frame error %.2f%%)\n",
+			r.Clustering.MeanError*100, r.Clustering.MeanEfficiency*100,
+			r.Clustering.OutlierRate*100, r.Clustering.MaxError*100)
+	}
+	fmt.Fprintf(out, "phases: %d across %d intervals  timeline %s\n",
+		r.Detection.NumPhases, len(r.Detection.Intervals), r.Detection.Timeline())
+	fmt.Fprintf(out, "subset: %d frames, %d draws = %.2f%% of parent\n",
+		len(r.Subset.Frames), r.Subset.NumDraws(), r.SizeRatio*100)
+	if r.Validated {
+		fmt.Fprintf(out, "validation: speedup correlation %.4f, rank correlation %.4f over %d configs\n",
+			r.Validation.Correlation, r.Validation.RankCorrelation, len(r.Validation.Points))
+	}
+}

@@ -1,0 +1,36 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+// The whole pipeline in a few lines: generate (or decode) a workload,
+// run the subsetter, use the report.
+func ExampleSubsetter_Run() {
+	profile := synth.Bioshock1Profile()
+	profile.Frames = 64
+	workload, err := synth.Generate(profile, 42)
+	if err != nil {
+		panic(err)
+	}
+	opt := core.DefaultOptions()
+	opt.ValidationClocks = []float64{0.5, 1.0, 2.0}
+	subsetter, err := core.New(opt)
+	if err != nil {
+		panic(err)
+	}
+	report, err := subsetter.Run(workload)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("phases:", report.Detection.NumPhases)
+	fmt.Println("subset under 5% of parent:", report.SizeRatio < 0.05)
+	fmt.Println("validation correlation over 0.99:", report.Validation.Correlation > 0.99)
+	// Output:
+	// phases: 4
+	// subset under 5% of parent: true
+	// validation correlation over 0.99: true
+}

@@ -1,0 +1,173 @@
+package dcmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Pearson linear = %v, want 1", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(xs, neg); math.Abs(got+1) > 1e-12 {
+		t.Errorf("Pearson anti = %v, want -1", got)
+	}
+}
+
+func TestPearsonAffineInvariance(t *testing.T) {
+	r := NewRNG(2)
+	xs := make([]float64, 50)
+	ys := make([]float64, 50)
+	for i := range xs {
+		xs[i] = r.Normal(0, 1)
+		ys[i] = xs[i] + r.Normal(0, 0.2)
+	}
+	base := Pearson(xs, ys)
+	shifted := make([]float64, len(ys))
+	for i, y := range ys {
+		shifted[i] = 7*y + 100
+	}
+	if got := Pearson(xs, shifted); math.Abs(got-base) > 1e-12 {
+		t.Errorf("Pearson not affine invariant: %v vs %v", got, base)
+	}
+}
+
+func TestPearsonDegenerate(t *testing.T) {
+	if !math.IsNaN(Pearson([]float64{1}, []float64{2})) {
+		t.Error("single point should be NaN")
+	}
+	if !math.IsNaN(Pearson([]float64{1, 2}, []float64{1})) {
+		t.Error("length mismatch should be NaN")
+	}
+	if !math.IsNaN(Pearson([]float64{3, 3, 3}, []float64{1, 2, 3})) {
+		t.Error("constant series should be NaN")
+	}
+}
+
+func TestPearsonIndependent(t *testing.T) {
+	r := NewRNG(4)
+	xs := make([]float64, 20000)
+	ys := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+		ys[i] = r.NormFloat64()
+	}
+	if got := Pearson(xs, ys); math.Abs(got) > 0.03 {
+		t.Errorf("independent series correlation = %v, want ~0", got)
+	}
+}
+
+func TestRanks(t *testing.T) {
+	got := Ranks([]float64{30, 10, 20})
+	want := []float64{3, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRanksTies(t *testing.T) {
+	got := Ranks([]float64{1, 2, 2, 3})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks with ties = %v, want %v", got, want)
+		}
+	}
+	// All equal: everyone gets the mid rank.
+	got = Ranks([]float64{5, 5, 5})
+	for _, g := range got {
+		if g != 2 {
+			t.Fatalf("all-tied ranks = %v, want all 2", got)
+		}
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Spearman is 1 for any strictly monotone relation, even nonlinear.
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = math.Exp(x)
+	}
+	if got := Spearman(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Spearman monotone = %v, want 1", got)
+	}
+	rev := []float64{6, 5, 4, 3, 2, 1}
+	if got := Spearman(xs, rev); math.Abs(got+1) > 1e-12 {
+		t.Errorf("Spearman reversed = %v, want -1", got)
+	}
+}
+
+func TestCovariance(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	if got := Covariance(xs, xs); math.Abs(got-Variance(xs)) > 1e-12 {
+		t.Errorf("Cov(x,x) = %v, want Var(x) = %v", got, Variance(xs))
+	}
+	if !math.IsNaN(Covariance(xs, []float64{1})) {
+		t.Error("length mismatch should be NaN")
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 2x + 1
+	slope, intercept := LinearFit(xs, ys)
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-1) > 1e-12 {
+		t.Errorf("fit = (%v, %v), want (2, 1)", slope, intercept)
+	}
+	s, _ := LinearFit([]float64{1, 1}, []float64{2, 3})
+	if !math.IsNaN(s) {
+		t.Error("constant xs should give NaN slope")
+	}
+}
+
+// Property: |Pearson| <= 1 for any non-degenerate input.
+func TestPearsonBoundProperty(t *testing.T) {
+	r := NewRNG(6)
+	f := func(n uint8) bool {
+		m := int(n%40) + 3
+		xs := make([]float64, m)
+		ys := make([]float64, m)
+		for i := range xs {
+			xs[i] = r.Normal(0, 3)
+			ys[i] = r.Normal(0, 3)
+		}
+		p := Pearson(xs, ys)
+		return math.IsNaN(p) || (p >= -1-1e-9 && p <= 1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Spearman is invariant under strictly monotone transforms of y.
+func TestSpearmanMonotoneInvarianceProperty(t *testing.T) {
+	r := NewRNG(8)
+	f := func(n uint8) bool {
+		m := int(n%30) + 4
+		xs := make([]float64, m)
+		ys := make([]float64, m)
+		for i := range xs {
+			xs[i] = r.Float64()
+			ys[i] = r.Float64()
+		}
+		ty := make([]float64, m)
+		for i, y := range ys {
+			ty[i] = math.Exp(3 * y) // strictly increasing
+		}
+		a, b := Spearman(xs, ys), Spearman(xs, ty)
+		if math.IsNaN(a) && math.IsNaN(b) {
+			return true
+		}
+		return math.Abs(a-b) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

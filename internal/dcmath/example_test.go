@@ -1,0 +1,29 @@
+package dcmath_test
+
+import (
+	"fmt"
+
+	"repro/internal/dcmath"
+)
+
+// Pearson is the statistic the subsetting validation relies on: the
+// correlation between the parent's and the subset's speedup curves.
+func ExamplePearson() {
+	parent := []float64{1.00, 1.25, 1.41, 1.53}
+	subset := []float64{1.00, 1.26, 1.42, 1.54}
+	fmt.Printf("r = %.4f\n", dcmath.Pearson(parent, subset))
+	// Output:
+	// r = 0.9999
+}
+
+// RNG streams are reproducible from their seed — the property every
+// experiment in this repository depends on.
+func ExampleRNG() {
+	a := dcmath.NewRNG(7)
+	b := dcmath.NewRNG(7)
+	fmt.Println(a.Intn(100), b.Intn(100))
+	fmt.Println(a.Intn(100) == b.Intn(100))
+	// Output:
+	// 70 70
+	// true
+}

@@ -1,0 +1,105 @@
+package dcmath
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	for i, c := range h.Counts {
+		if c != 1 {
+			t.Errorf("bin %d count = %d, want 1", i, c)
+		}
+	}
+	if h.Total() != 10 {
+		t.Errorf("total = %d", h.Total())
+	}
+}
+
+func TestHistogramOverUnderflow(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(-0.5)
+	h.Add(1.0) // hi is exclusive
+	h.Add(2.0)
+	h.Add(math.NaN())
+	h.Add(0.5)
+	if h.Underflow != 2 { // -0.5 and NaN
+		t.Errorf("underflow = %d, want 2", h.Underflow)
+	}
+	if h.Overflow != 2 {
+		t.Errorf("overflow = %d, want 2", h.Overflow)
+	}
+	if h.Total() != 5 {
+		t.Errorf("total = %d, want 5", h.Total())
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	h.Add(0)   // first bin, inclusive lower edge
+	h.Add(0.5) // second bin
+	if h.Counts[0] != 1 || h.Counts[1] != 1 {
+		t.Errorf("edge binning wrong: %v", h.Counts)
+	}
+}
+
+func TestHistogramFractionAndCenter(t *testing.T) {
+	h := NewHistogram(0, 4, 4)
+	h.Add(0.5)
+	h.Add(0.6)
+	h.Add(2.5)
+	h.Add(3.5)
+	if got := h.Fraction(0); got != 0.5 {
+		t.Errorf("Fraction(0) = %v", got)
+	}
+	if got := h.BinCenter(0); got != 0.5 {
+		t.Errorf("BinCenter(0) = %v", got)
+	}
+	if got := h.BinCenter(3); got != 3.5 {
+		t.Errorf("BinCenter(3) = %v", got)
+	}
+}
+
+func TestHistogramFractionEmpty(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	if got := h.Fraction(0); got != 0 {
+		t.Errorf("empty Fraction = %v", got)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(0, 2, 2)
+	h.Add(0.5)
+	h.Add(0.6)
+	h.Add(1.5)
+	h.Add(-1)
+	h.Add(9)
+	out := h.Render(10)
+	if !strings.Contains(out, "under") || !strings.Contains(out, "over") {
+		t.Errorf("render missing overflow rows:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Errorf("render missing bars:\n%s", out)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for invalid histogram geometry")
+				}
+			}()
+			f()
+		}()
+	}
+}

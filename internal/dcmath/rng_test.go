@@ -1,0 +1,238 @@
+package dcmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("stream diverged at %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 collided %d/100 times", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestRNGFloat64Mean(t *testing.T) {
+	r := NewRNG(11)
+	var m Moments
+	for i := 0; i < 100000; i++ {
+		m.Add(r.Float64())
+	}
+	if got := m.Mean(); math.Abs(got-0.5) > 0.01 {
+		t.Errorf("uniform mean = %v, want ~0.5", got)
+	}
+	if got := m.Variance(); math.Abs(got-1.0/12) > 0.01 {
+		t.Errorf("uniform variance = %v, want ~1/12", got)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	for n := 1; n < 40; n++ {
+		seen := make(map[int]bool)
+		for i := 0; i < 200*n; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+			seen[v] = true
+		}
+		if len(seen) != n {
+			t.Errorf("Intn(%d) produced only %d distinct values", n, len(seen))
+		}
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := NewRNG(5)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.05*want {
+			t.Errorf("bucket %d: %d draws, want ~%v", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestIntRange(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		v := r.IntRange(-3, 3)
+		if v < -3 || v > 3 {
+			t.Fatalf("IntRange(-3,3) = %d", v)
+		}
+	}
+	if got := r.IntRange(5, 5); got != 5 {
+		t.Errorf("IntRange(5,5) = %d, want 5", got)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(13)
+	var m Moments
+	for i := 0; i < 200000; i++ {
+		m.Add(r.NormFloat64())
+	}
+	if got := m.Mean(); math.Abs(got) > 0.01 {
+		t.Errorf("normal mean = %v, want ~0", got)
+	}
+	if got := m.StdDev(); math.Abs(got-1) > 0.01 {
+		t.Errorf("normal stddev = %v, want ~1", got)
+	}
+}
+
+func TestNormalShiftScale(t *testing.T) {
+	r := NewRNG(17)
+	var m Moments
+	for i := 0; i < 100000; i++ {
+		m.Add(r.Normal(10, 2))
+	}
+	if got := m.Mean(); math.Abs(got-10) > 0.05 {
+		t.Errorf("mean = %v, want ~10", got)
+	}
+	if got := m.StdDev(); math.Abs(got-2) > 0.05 {
+		t.Errorf("stddev = %v, want ~2", got)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := NewRNG(19)
+	for i := 0; i < 10000; i++ {
+		if v := r.LogNormal(2, 0.7); v <= 0 {
+			t.Fatalf("LogNormal emitted non-positive %v", v)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(23)
+	var m Moments
+	for i := 0; i < 100000; i++ {
+		m.Add(r.Exp(2))
+	}
+	if got := m.Mean(); math.Abs(got-0.5) > 0.01 {
+		t.Errorf("Exp(2) mean = %v, want ~0.5", got)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(29)
+	for _, n := range []int{0, 1, 2, 5, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) len = %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := NewRNG(31)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, x := range xs {
+		got += x
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed multiset: sum %d != %d", got, sum)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(37)
+	a := r.Split(1)
+	b := r.Split(2)
+	c := r.Split(1) // same label, same parent state -> same stream
+	av, bv, cv := a.Uint64(), b.Uint64(), c.Uint64()
+	if av == bv {
+		t.Error("Split(1) and Split(2) produced identical first value")
+	}
+	if av != cv {
+		t.Error("Split(1) twice from same state produced different streams")
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRNG(41)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	if got := float64(hits) / n; math.Abs(got-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) rate = %v", got)
+	}
+	if r.Bool(0) {
+		t.Error("Bool(0) returned true")
+	}
+	if !r.Bool(1) {
+		t.Error("Bool(1) returned false")
+	}
+}
+
+// Property: Intn(n) is always in range for arbitrary positive n.
+func TestIntnRangeProperty(t *testing.T) {
+	r := NewRNG(43)
+	f := func(nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v := r.Intn(n)
+		return v >= 0 && v < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

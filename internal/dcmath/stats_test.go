@@ -1,0 +1,200 @@
+package dcmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanBasic(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{[]float64{1, 2, 3}, 2},
+		{[]float64{5}, 5},
+		{[]float64{-1, 1}, 0},
+		{[]float64{2, 2, 2, 2}, 2},
+	}
+	for _, c := range cases {
+		if got := Mean(c.xs); got != c.want {
+			t.Errorf("Mean(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); got != 4 {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); got != 2 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := Variance([]float64{3}); got != 0 {
+		t.Errorf("Variance of singleton = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5, -9, 2, 6}
+	if got := Min(xs); got != -9 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := Max(xs); got != 6 {
+		t.Errorf("Max = %v", got)
+	}
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Error("Min/Max of empty should be NaN")
+	}
+}
+
+func TestMedianQuantile(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("even median = %v", got)
+	}
+	xs := []float64{10, 20, 30, 40, 50}
+	if got := Quantile(xs, 0); got != 10 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 50 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.25); got != 20 {
+		t.Errorf("q0.25 = %v", got)
+	}
+	if !math.IsNaN(Quantile(xs, -0.1)) || !math.IsNaN(Quantile(xs, 1.1)) {
+		t.Error("out-of-range q should be NaN")
+	}
+	// Quantile must not mutate its input.
+	orig := []float64{5, 1, 3}
+	Quantile(orig, 0.5)
+	if orig[0] != 5 || orig[1] != 1 || orig[2] != 3 {
+		t.Error("Quantile mutated input")
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	if got := WeightedMean([]float64{1, 3}, []float64{1, 1}); got != 2 {
+		t.Errorf("equal weights = %v", got)
+	}
+	if got := WeightedMean([]float64{1, 3}, []float64{3, 1}); got != 1.5 {
+		t.Errorf("3:1 weights = %v", got)
+	}
+	if !math.IsNaN(WeightedMean([]float64{1}, []float64{0})) {
+		t.Error("zero weight sum should be NaN")
+	}
+	if !math.IsNaN(WeightedMean([]float64{1, 2}, []float64{1})) {
+		t.Error("length mismatch should be NaN")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); got != 2 {
+		t.Errorf("GeoMean(1,4) = %v", got)
+	}
+	if got := GeoMean([]float64{2, 2, 2}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean(2,2,2) = %v", got)
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -1})) {
+		t.Error("negative input should be NaN")
+	}
+	if !math.IsNaN(GeoMean(nil)) {
+		t.Error("empty input should be NaN")
+	}
+}
+
+func TestMomentsMatchesBatch(t *testing.T) {
+	r := NewRNG(1)
+	xs := make([]float64, 5000)
+	var m Moments
+	for i := range xs {
+		xs[i] = r.Normal(3, 1.5)
+		m.Add(xs[i])
+	}
+	if got, want := m.Mean(), Mean(xs); math.Abs(got-want) > 1e-9 {
+		t.Errorf("online mean %v != batch %v", got, want)
+	}
+	if got, want := m.Variance(), Variance(xs); math.Abs(got-want) > 1e-9 {
+		t.Errorf("online variance %v != batch %v", got, want)
+	}
+	if got, want := m.Min(), Min(xs); got != want {
+		t.Errorf("online min %v != batch %v", got, want)
+	}
+	if got, want := m.Max(), Max(xs); got != want {
+		t.Errorf("online max %v != batch %v", got, want)
+	}
+	if m.Count() != len(xs) {
+		t.Errorf("count = %d", m.Count())
+	}
+}
+
+func TestMomentsEmpty(t *testing.T) {
+	var m Moments
+	if !math.IsNaN(m.Mean()) || !math.IsNaN(m.Variance()) || !math.IsNaN(m.Min()) || !math.IsNaN(m.Max()) {
+		t.Error("empty Moments should return NaN statistics")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 3); got != 3 {
+		t.Errorf("Clamp high = %v", got)
+	}
+	if got := Clamp(-5, 0, 3); got != 0 {
+		t.Errorf("Clamp low = %v", got)
+	}
+	if got := Clamp(2, 0, 3); got != 2 {
+		t.Errorf("Clamp mid = %v", got)
+	}
+	if got := ClampInt(10, 1, 4); got != 4 {
+		t.Errorf("ClampInt = %v", got)
+	}
+}
+
+func TestRelError(t *testing.T) {
+	if got := RelError(11, 10); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelError = %v", got)
+	}
+	if got := RelError(0.5, 0); got != 0.5 {
+		t.Errorf("RelError with zero want = %v", got)
+	}
+}
+
+func TestAlmostEqual(t *testing.T) {
+	if !AlmostEqual(1.0, 1.0+1e-12, 1e-9) {
+		t.Error("should be almost equal")
+	}
+	if AlmostEqual(1.0, 1.1, 1e-9) {
+		t.Error("should not be almost equal")
+	}
+	if AlmostEqual(math.NaN(), math.NaN(), 1) {
+		t.Error("NaN should never be almost equal")
+	}
+}
+
+// Property: variance is non-negative and mean lies within [min, max].
+func TestStatsInvariantsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		v := Variance(xs)
+		m := Mean(xs)
+		return v >= -1e-9 && m >= Min(xs)-1e-9 && m <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,118 @@
+// Package explore turns sweep measurements into design decisions:
+// Pareto frontiers over (delay, energy), and constrained selections
+// ("fastest config under a power cap"). These are the questions a
+// pathfinding study actually asks once the sweeps exist — and the
+// decisions a subset must preserve to be useful (experiment E19).
+package explore
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Candidate is one design point's measured (or subset-reconstructed)
+// outcome.
+type Candidate struct {
+	// Index identifies the configuration in the caller's config list.
+	Index   int
+	DelayNs float64
+	EnergyJ float64
+}
+
+// AvgW returns the candidate's average power.
+func (c Candidate) AvgW() float64 {
+	if c.DelayNs <= 0 {
+		return 0
+	}
+	return c.EnergyJ / (c.DelayNs * 1e-9)
+}
+
+// ParetoFrontier returns the candidates not dominated in
+// (delay, energy), sorted by increasing delay. A point dominates
+// another if it is no worse in both dimensions and strictly better in
+// at least one.
+func ParetoFrontier(cands []Candidate) []Candidate {
+	if len(cands) == 0 {
+		return nil
+	}
+	sorted := make([]Candidate, len(cands))
+	copy(sorted, cands)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].DelayNs != sorted[j].DelayNs {
+			return sorted[i].DelayNs < sorted[j].DelayNs
+		}
+		return sorted[i].EnergyJ < sorted[j].EnergyJ
+	})
+	var frontier []Candidate
+	bestEnergy := sorted[0].EnergyJ + 1
+	for _, c := range sorted {
+		if c.EnergyJ < bestEnergy {
+			frontier = append(frontier, c)
+			bestEnergy = c.EnergyJ
+		}
+	}
+	return frontier
+}
+
+// BestUnderPower returns the lowest-delay candidate whose average
+// power stays at or below maxAvgW. It errors if no candidate
+// qualifies.
+func BestUnderPower(cands []Candidate, maxAvgW float64) (Candidate, error) {
+	best := Candidate{Index: -1}
+	for _, c := range cands {
+		if c.AvgW() > maxAvgW {
+			continue
+		}
+		if best.Index == -1 || c.DelayNs < best.DelayNs {
+			best = c
+		}
+	}
+	if best.Index == -1 {
+		return Candidate{}, fmt.Errorf("explore: no candidate under %.2f W", maxAvgW)
+	}
+	return best, nil
+}
+
+// BestUnderEnergy returns the lowest-delay candidate whose total
+// energy stays at or below maxJ.
+func BestUnderEnergy(cands []Candidate, maxJ float64) (Candidate, error) {
+	best := Candidate{Index: -1}
+	for _, c := range cands {
+		if c.EnergyJ > maxJ {
+			continue
+		}
+		if best.Index == -1 || c.DelayNs < best.DelayNs {
+			best = c
+		}
+	}
+	if best.Index == -1 {
+		return Candidate{}, fmt.Errorf("explore: no candidate under %.2f J", maxJ)
+	}
+	return best, nil
+}
+
+// FrontierAgreement returns the Jaccard similarity of two frontiers'
+// config index sets — 1 when a subset reproduces the parent's frontier
+// exactly.
+func FrontierAgreement(a, b []Candidate) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	set := map[int]bool{}
+	for _, c := range a {
+		set[c.Index] = true
+	}
+	inter := 0
+	union := len(set)
+	for _, c := range b {
+		if set[c.Index] {
+			inter++
+		} else {
+			union++
+		}
+	}
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}

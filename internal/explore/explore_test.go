@@ -1,0 +1,152 @@
+package explore
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dcmath"
+)
+
+func TestParetoFrontierBasic(t *testing.T) {
+	cands := []Candidate{
+		{Index: 0, DelayNs: 100, EnergyJ: 10}, // on frontier
+		{Index: 1, DelayNs: 80, EnergyJ: 12},  // on frontier
+		{Index: 2, DelayNs: 120, EnergyJ: 11}, // dominated by 0
+		{Index: 3, DelayNs: 60, EnergyJ: 20},  // on frontier
+		{Index: 4, DelayNs: 90, EnergyJ: 12},  // dominated by 1
+	}
+	f := ParetoFrontier(cands)
+	got := map[int]bool{}
+	for _, c := range f {
+		got[c.Index] = true
+	}
+	for _, want := range []int{0, 1, 3} {
+		if !got[want] {
+			t.Errorf("config %d missing from frontier %v", want, got)
+		}
+	}
+	if got[2] || got[4] {
+		t.Errorf("dominated configs on frontier: %v", got)
+	}
+	// Sorted by delay, energy strictly decreasing along it.
+	for i := 1; i < len(f); i++ {
+		if f[i].DelayNs < f[i-1].DelayNs {
+			t.Error("frontier not sorted by delay")
+		}
+		if f[i].EnergyJ >= f[i-1].EnergyJ {
+			t.Error("frontier energy not strictly decreasing")
+		}
+	}
+}
+
+func TestParetoFrontierEdges(t *testing.T) {
+	if ParetoFrontier(nil) != nil {
+		t.Error("empty input should give nil frontier")
+	}
+	one := []Candidate{{Index: 7, DelayNs: 5, EnergyJ: 5}}
+	f := ParetoFrontier(one)
+	if len(f) != 1 || f[0].Index != 7 {
+		t.Errorf("single-candidate frontier = %v", f)
+	}
+	// Identical points: exactly one survives.
+	same := []Candidate{{0, 5, 5}, {1, 5, 5}, {2, 5, 5}}
+	if got := ParetoFrontier(same); len(got) != 1 {
+		t.Errorf("identical points frontier size = %d", len(got))
+	}
+}
+
+func TestBestUnderPower(t *testing.T) {
+	cands := []Candidate{
+		{Index: 0, DelayNs: 1e9, EnergyJ: 5},   // 5 W, slow
+		{Index: 1, DelayNs: 5e8, EnergyJ: 6},   // 12 W, fast
+		{Index: 2, DelayNs: 7e8, EnergyJ: 5.6}, // 8 W, middle
+	}
+	got, err := BestUnderPower(cands, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Index != 2 {
+		t.Errorf("best under 9 W = config %d, want 2", got.Index)
+	}
+	got, err = BestUnderPower(cands, 20)
+	if err != nil || got.Index != 1 {
+		t.Errorf("best under 20 W = %v, %v; want config 1", got, err)
+	}
+	if _, err := BestUnderPower(cands, 1); err == nil {
+		t.Error("impossible cap accepted")
+	}
+}
+
+func TestBestUnderEnergy(t *testing.T) {
+	cands := []Candidate{
+		{Index: 0, DelayNs: 1e9, EnergyJ: 5},
+		{Index: 1, DelayNs: 5e8, EnergyJ: 9},
+	}
+	got, err := BestUnderEnergy(cands, 6)
+	if err != nil || got.Index != 0 {
+		t.Errorf("best under 6 J = %v, %v", got, err)
+	}
+	if _, err := BestUnderEnergy(cands, 1); err == nil {
+		t.Error("impossible budget accepted")
+	}
+}
+
+func TestAvgW(t *testing.T) {
+	c := Candidate{DelayNs: 2e9, EnergyJ: 10}
+	if got := c.AvgW(); got != 5 {
+		t.Errorf("AvgW = %v", got)
+	}
+	if (Candidate{}).AvgW() != 0 {
+		t.Error("zero-delay AvgW should be 0")
+	}
+}
+
+func TestFrontierAgreement(t *testing.T) {
+	a := []Candidate{{Index: 0}, {Index: 1}, {Index: 2}}
+	if got := FrontierAgreement(a, a); got != 1 {
+		t.Errorf("self agreement = %v", got)
+	}
+	b := []Candidate{{Index: 1}, {Index: 2}, {Index: 3}}
+	if got := FrontierAgreement(a, b); got != 0.5 { // 2 shared of 4 union
+		t.Errorf("agreement = %v, want 0.5", got)
+	}
+	if got := FrontierAgreement(nil, nil); got != 1 {
+		t.Errorf("empty agreement = %v", got)
+	}
+	if got := FrontierAgreement(a, nil); got != 0 {
+		t.Errorf("disjoint agreement = %v", got)
+	}
+}
+
+// Property: no frontier member is dominated by any candidate.
+func TestFrontierNonDominatedProperty(t *testing.T) {
+	rng := dcmath.NewRNG(7)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%30) + 1
+		cands := make([]Candidate, n)
+		for i := range cands {
+			cands[i] = Candidate{
+				Index:   i,
+				DelayNs: 1 + rng.Float64()*100,
+				EnergyJ: 1 + rng.Float64()*100,
+			}
+		}
+		frontier := ParetoFrontier(cands)
+		if len(frontier) == 0 {
+			return false
+		}
+		for _, fc := range frontier {
+			for _, c := range cands {
+				dominates := c.DelayNs <= fc.DelayNs && c.EnergyJ <= fc.EnergyJ &&
+					(c.DelayNs < fc.DelayNs || c.EnergyJ < fc.EnergyJ)
+				if dominates {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

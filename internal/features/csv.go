@@ -1,0 +1,46 @@
+package features
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/trace"
+)
+
+// WriteCSV exports the MAI feature matrix of the given frames as CSV:
+// a header row (frame, draw, material, then the feature names) and one
+// row per draw call. This is the interchange path to external analysis
+// tooling (spreadsheets, Python notebooks) for feature studies beyond
+// the built-in ablations.
+func (e *Extractor) WriteCSV(out io.Writer, frames []trace.Frame) error {
+	w := csv.NewWriter(out)
+	header := append([]string{"frame", "draw", "material"}, Names()...)
+	if err := w.Write(header); err != nil {
+		return fmt.Errorf("features: writing CSV header: %w", err)
+	}
+	row := make([]string, len(header))
+	vec := make([]float64, NumFeatures)
+	for fi := range frames {
+		f := &frames[fi]
+		for di := range f.Draws {
+			d := &f.Draws[di]
+			e.DrawInto(d, vec)
+			row[0] = strconv.Itoa(fi)
+			row[1] = strconv.Itoa(di)
+			row[2] = strconv.FormatUint(uint64(d.MaterialID), 10)
+			for j, v := range vec {
+				row[3+j] = strconv.FormatFloat(v, 'g', 8, 64)
+			}
+			if err := w.Write(row); err != nil {
+				return fmt.Errorf("features: writing CSV row %d/%d: %w", fi, di, err)
+			}
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return fmt.Errorf("features: flushing CSV: %w", err)
+	}
+	return nil
+}

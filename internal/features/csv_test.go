@@ -1,0 +1,52 @@
+package features
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"testing"
+
+	"repro/internal/tracetest"
+)
+
+func TestWriteCSV(t *testing.T) {
+	w := tracetest.Tiny()
+	e, err := NewExtractor(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.WriteCSV(&buf, w.Frames); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := 1 + w.NumDraws()
+	if len(rows) != wantRows {
+		t.Fatalf("rows = %d, want %d", len(rows), wantRows)
+	}
+	if len(rows[0]) != 3+NumFeatures {
+		t.Fatalf("columns = %d, want %d", len(rows[0]), 3+NumFeatures)
+	}
+	if rows[0][0] != "frame" || rows[0][3] != Names()[0] {
+		t.Errorf("header wrong: %v", rows[0][:4])
+	}
+	// Row 1 is frame 0 draw 0; its feature values must parse back to
+	// the extractor's vector.
+	vec := e.Draw(&w.Frames[0].Draws[0])
+	for j := 0; j < NumFeatures; j++ {
+		got, err := strconv.ParseFloat(rows[1][3+j], 64)
+		if err != nil {
+			t.Fatalf("column %d unparsable: %v", j, err)
+		}
+		if diff := got - vec[j]; diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("feature %d: csv %v != vector %v", j, got, vec[j])
+		}
+	}
+	// Material column carries capture metadata.
+	if rows[1][2] != "1" {
+		t.Errorf("material column = %q", rows[1][2])
+	}
+}

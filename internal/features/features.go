@@ -1,0 +1,240 @@
+// Package features extracts micro-architecture independent (MAI)
+// characteristics from draw calls.
+//
+// This is the heart of the paper's clustering step: draw calls are
+// grouped by similarity of properties that describe the *work
+// submitted* (geometry size, shader instruction mix, texture working
+// set, raster state) rather than how any particular GPU executes it.
+// Clusters formed on MAI features therefore transfer across
+// architecture configurations — the property that lets one subset
+// stand in for the parent workload over a whole pathfinding sweep.
+package features
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/linalg"
+	"repro/internal/shader"
+	"repro/internal/trace"
+)
+
+// Feature indices of the default schema. Order is load-bearing: the
+// extractor writes by these indices and group ablations slice by them.
+const (
+	fGeomLogVerts = iota
+	fGeomLogPrims
+	fGeomLogInstances
+	fVSALU
+	fVSSFU
+	fVSInterp
+	fVSMem
+	fVSCF
+	fPSALU
+	fPSSFU
+	fPSTex
+	fPSInterp
+	fPSMem
+	fPSCF
+	fTexCount
+	fTexLogWS
+	fTexLocality
+	fRasterLogPixels
+	fRasterOverdraw
+	fRasterLogRTPixels
+	fStateBlend
+	fStateDepth
+	fStateTriList
+	numFeatures
+)
+
+// NumFeatures is the dimensionality of the default feature vector.
+const NumFeatures = numFeatures
+
+// featureNames, indexed by the constants above.
+var featureNames = [numFeatures]string{
+	"geom.logverts", "geom.logprims", "geom.loginstances",
+	"vs.alu", "vs.sfu", "vs.interp", "vs.mem", "vs.cf",
+	"ps.alu", "ps.sfu", "ps.tex", "ps.interp", "ps.mem", "ps.cf",
+	"tex.count", "tex.logws", "tex.locality",
+	"raster.logpixels", "raster.overdraw", "raster.logrtpixels",
+	"state.blend", "state.depth", "state.trilist",
+}
+
+// groups maps ablation-group names to their feature indices.
+var groups = map[string][]int{
+	"geometry": {fGeomLogVerts, fGeomLogPrims, fGeomLogInstances},
+	"vshader":  {fVSALU, fVSSFU, fVSInterp, fVSMem, fVSCF},
+	"pshader":  {fPSALU, fPSSFU, fPSTex, fPSInterp, fPSMem, fPSCF},
+	"texture":  {fTexCount, fTexLogWS, fTexLocality},
+	"raster":   {fRasterLogPixels, fRasterOverdraw, fRasterLogRTPixels},
+	"state":    {fStateBlend, fStateDepth, fStateTriList},
+}
+
+// Names returns the feature names in index order.
+func Names() []string {
+	out := make([]string, numFeatures)
+	copy(out[:], featureNames[:])
+	return out
+}
+
+// GroupNames returns the ablation group names, sorted.
+func GroupNames() []string {
+	out := make([]string, 0, len(groups))
+	for g := range groups {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GroupIndices returns the feature indices belonging to the named
+// groups, sorted ascending. Unknown group names are an error.
+func GroupIndices(names ...string) ([]int, error) {
+	var idx []int
+	for _, n := range names {
+		g, ok := groups[n]
+		if !ok {
+			return nil, fmt.Errorf("features: unknown group %q (have %v)", n, GroupNames())
+		}
+		idx = append(idx, g...)
+	}
+	sort.Ints(idx)
+	return idx, nil
+}
+
+// Extractor computes feature vectors for the draws of one workload.
+// Shader mixes are analyzed once per program; extraction is then O(1)
+// per draw. Safe for concurrent use after construction.
+type Extractor struct {
+	w     *trace.Workload
+	mixes map[shader.ID]shader.Mix
+}
+
+// NewExtractor validates the workload and pre-analyzes its shaders.
+func NewExtractor(w *trace.Workload) (*Extractor, error) {
+	if err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("features: %w", err)
+	}
+	return NewShellExtractor(w)
+}
+
+// NewShellExtractor builds an extractor against a workload that may
+// have no frames — the streaming case, where the shell carries only
+// resource tables and frames arrive one at a time. Per-draw resource
+// references are still checked (DrawInto panics on dangling ones); the
+// whole-workload validation that requires frames is skipped.
+func NewShellExtractor(w *trace.Workload) (*Extractor, error) {
+	if w.Shaders == nil {
+		return nil, fmt.Errorf("features: workload %q has nil shader registry", w.Name)
+	}
+	mixes := make(map[shader.ID]shader.Mix, w.Shaders.Len())
+	for _, p := range w.Shaders.Programs() {
+		mixes[p.ID] = p.Analyze()
+	}
+	return &Extractor{w: w, mixes: mixes}, nil
+}
+
+// Draw returns the MAI feature vector of one draw call. The draw must
+// reference resources of the extractor's workload; dangling references
+// panic (corrupted subset, not a runtime condition).
+func (e *Extractor) Draw(d *trace.DrawCall) []float64 {
+	v := make([]float64, numFeatures)
+	e.DrawInto(d, v)
+	return v
+}
+
+// DrawInto writes the feature vector into dst, which must have length
+// NumFeatures. Use this form in per-frame loops to avoid allocation.
+func (e *Extractor) DrawInto(d *trace.DrawCall, dst []float64) {
+	if len(dst) != numFeatures {
+		panic(fmt.Sprintf("features: DrawInto dst length %d, want %d", len(dst), numFeatures))
+	}
+	vsMix, ok := e.mixes[d.VS]
+	if !ok {
+		panic(fmt.Sprintf("features: draw references unknown VS %d", d.VS))
+	}
+	psMix, ok := e.mixes[d.PS]
+	if !ok {
+		panic(fmt.Sprintf("features: draw references unknown PS %d", d.PS))
+	}
+	rt, err := e.w.RenderTarget(d.RT)
+	if err != nil {
+		panic(fmt.Sprintf("features: %v", err))
+	}
+
+	dst[fGeomLogVerts] = math.Log1p(float64(d.TotalVertices()))
+	dst[fGeomLogPrims] = math.Log1p(float64(d.TotalPrimitives()))
+	dst[fGeomLogInstances] = math.Log1p(float64(d.InstanceCount))
+
+	dst[fVSALU] = float64(vsMix.Count(shader.OpALU))
+	dst[fVSSFU] = float64(vsMix.Count(shader.OpSFU))
+	dst[fVSInterp] = float64(vsMix.Count(shader.OpInterp))
+	dst[fVSMem] = float64(vsMix.Count(shader.OpMem))
+	dst[fVSCF] = float64(vsMix.Count(shader.OpCF))
+
+	dst[fPSALU] = float64(psMix.Count(shader.OpALU))
+	dst[fPSSFU] = float64(psMix.Count(shader.OpSFU))
+	dst[fPSTex] = float64(psMix.Count(shader.OpTex))
+	dst[fPSInterp] = float64(psMix.Count(shader.OpInterp))
+	dst[fPSMem] = float64(psMix.Count(shader.OpMem))
+	dst[fPSCF] = float64(psMix.Count(shader.OpCF))
+
+	var ws float64
+	texCount := 0
+	for _, tid := range d.Textures {
+		if tid == 0 {
+			continue
+		}
+		tex, err := e.w.Texture(tid)
+		if err != nil {
+			panic(fmt.Sprintf("features: %v", err))
+		}
+		ws += float64(tex.Footprint())
+		texCount++
+	}
+	dst[fTexCount] = float64(texCount)
+	dst[fTexLogWS] = math.Log1p(ws * d.TexLocality)
+	dst[fTexLocality] = d.TexLocality
+
+	pixels := d.CoverageFrac * float64(rt.Pixels())
+	dst[fRasterLogPixels] = math.Log1p(pixels * d.Overdraw)
+	dst[fRasterOverdraw] = d.Overdraw
+	dst[fRasterLogRTPixels] = math.Log1p(float64(rt.Pixels()))
+
+	dst[fStateBlend] = b2f(d.BlendEnable)
+	dst[fStateDepth] = b2f(d.DepthEnable)
+	dst[fStateTriList] = b2f(d.Topology == trace.TriangleList)
+}
+
+// Frame returns the feature matrix of a frame: one row per draw, in
+// draw order.
+func (e *Extractor) Frame(f *trace.Frame) *linalg.Matrix {
+	m := linalg.NewMatrix(len(f.Draws), numFeatures)
+	for i := range f.Draws {
+		e.DrawInto(&f.Draws[i], m.Row(i))
+	}
+	return m
+}
+
+// Select returns a copy of m keeping only the given feature columns,
+// in the given order. Used by the feature-group ablation.
+func Select(m *linalg.Matrix, idx []int) *linalg.Matrix {
+	out := linalg.NewMatrix(m.Rows, len(idx))
+	for i := 0; i < m.Rows; i++ {
+		src := m.Row(i)
+		dst := out.Row(i)
+		for j, k := range idx {
+			dst[j] = src[k]
+		}
+	}
+	return out
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

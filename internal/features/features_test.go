@@ -1,0 +1,168 @@
+package features
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/tracetest"
+)
+
+func TestNamesAndSchemaShape(t *testing.T) {
+	names := Names()
+	if len(names) != NumFeatures {
+		t.Fatalf("names = %d, NumFeatures = %d", len(names), NumFeatures)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if n == "" {
+			t.Fatal("empty feature name")
+		}
+		if seen[n] {
+			t.Fatalf("duplicate feature name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestGroupsPartitionSchema(t *testing.T) {
+	all, err := GroupIndices(GroupNames()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != NumFeatures {
+		t.Fatalf("groups cover %d of %d features", len(all), NumFeatures)
+	}
+	seen := map[int]bool{}
+	for _, i := range all {
+		if seen[i] {
+			t.Fatalf("feature %d in two groups", i)
+		}
+		seen[i] = true
+	}
+	if _, err := GroupIndices("nope"); err == nil {
+		t.Error("unknown group accepted")
+	}
+}
+
+func TestExtractorBasics(t *testing.T) {
+	w := tracetest.Tiny()
+	e, err := NewExtractor(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &w.Frames[0].Draws[0]
+	v := e.Draw(d)
+	if len(v) != NumFeatures {
+		t.Fatalf("vector length %d", len(v))
+	}
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Errorf("feature %d (%s) = %v", i, Names()[i], x)
+		}
+	}
+	// Spot checks against the fixture: draw 0 has 3000 verts, 2 textures,
+	// depth on, blend off, trilist.
+	if got, want := v[fGeomLogVerts], math.Log1p(3000); got != want {
+		t.Errorf("logverts = %v, want %v", got, want)
+	}
+	if v[fTexCount] != 2 {
+		t.Errorf("tex count = %v", v[fTexCount])
+	}
+	if v[fStateDepth] != 1 || v[fStateBlend] != 0 || v[fStateTriList] != 1 {
+		t.Errorf("state flags = %v %v %v", v[fStateDepth], v[fStateBlend], v[fStateTriList])
+	}
+}
+
+func TestExtractorDeterministic(t *testing.T) {
+	w := tracetest.Tiny()
+	e, _ := NewExtractor(w)
+	d := &w.Frames[0].Draws[1]
+	if !linalg.EqualVec(e.Draw(d), e.Draw(d), 0) {
+		t.Error("extraction not deterministic")
+	}
+}
+
+func TestIdenticalDrawsIdenticalFeatures(t *testing.T) {
+	w := tracetest.Tiny()
+	e, _ := NewExtractor(w)
+	d := w.Frames[0].Draws[0]
+	d2 := d
+	if !linalg.EqualVec(e.Draw(&d), e.Draw(&d2), 0) {
+		t.Error("identical draws produced different features")
+	}
+	// And a materially different draw must differ.
+	d2.VertexCount *= 10
+	if linalg.EqualVec(e.Draw(&d), e.Draw(&d2), 1e-9) {
+		t.Error("different draws produced identical features")
+	}
+}
+
+func TestFeaturesSeparateFixtureMaterials(t *testing.T) {
+	// Draws of the same material (3 and 4 share MaterialID 3 but have
+	// different vertex counts) must be closer to each other than to the
+	// texture-heavy draw 0.
+	w := tracetest.Tiny()
+	e, _ := NewExtractor(w)
+	f := w.Frames[0]
+	a := e.Draw(&f.Draws[2])
+	b := e.Draw(&f.Draws[3])
+	c := e.Draw(&f.Draws[0])
+	if linalg.L2Dist(a, b) >= linalg.L2Dist(a, c) {
+		t.Errorf("same-material distance %v >= cross-material %v",
+			linalg.L2Dist(a, b), linalg.L2Dist(a, c))
+	}
+}
+
+func TestFrameMatrix(t *testing.T) {
+	w := tracetest.Tiny()
+	e, _ := NewExtractor(w)
+	m := e.Frame(&w.Frames[0])
+	if m.Rows != len(w.Frames[0].Draws) || m.Cols != NumFeatures {
+		t.Fatalf("matrix %dx%d", m.Rows, m.Cols)
+	}
+	if !linalg.EqualVec(m.Row(2), e.Draw(&w.Frames[0].Draws[2]), 0) {
+		t.Error("matrix row != Draw vector")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	m := linalg.FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	s := Select(m, []int{2, 0})
+	if s.Cols != 2 || s.At(0, 0) != 3 || s.At(0, 1) != 1 || s.At(1, 0) != 6 {
+		t.Errorf("Select wrong: %+v", s)
+	}
+}
+
+func TestNewExtractorValidates(t *testing.T) {
+	w := tracetest.Tiny()
+	w.Frames[0].Draws[0].Overdraw = 0
+	if _, err := NewExtractor(w); err == nil {
+		t.Error("invalid workload accepted")
+	}
+}
+
+func TestDrawIntoPanics(t *testing.T) {
+	w := tracetest.Tiny()
+	e, _ := NewExtractor(w)
+	d := w.Frames[0].Draws[0]
+	defer func() {
+		if recover() == nil {
+			t.Error("short dst should panic")
+		}
+	}()
+	e.DrawInto(&d, make([]float64, 3))
+}
+
+func TestDrawPanicsOnUnknownShader(t *testing.T) {
+	w := tracetest.Tiny()
+	e, _ := NewExtractor(w)
+	d := w.Frames[0].Draws[0]
+	d.PS = 999
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown shader should panic")
+		}
+	}()
+	e.Draw(&d)
+}

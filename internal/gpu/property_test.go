@@ -1,0 +1,120 @@
+package gpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tracetest"
+)
+
+// Property: with noise disabled, draw cost is monotone in coverage —
+// more screen area never costs less.
+func TestCostMonotoneInCoverageProperty(t *testing.T) {
+	w := tracetest.Tiny()
+	cfg := BaseConfig()
+	cfg.NoiseAmp = 0
+	s, err := NewSimulator(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(di uint8, aRaw, bRaw uint16) bool {
+		d := w.Frames[0].Draws[int(di)%4]
+		a := 1e-6 + float64(aRaw)/65535.0*0.9
+		b := 1e-6 + float64(bRaw)/65535.0*0.9
+		if a > b {
+			a, b = b, a
+		}
+		d.CoverageFrac = a
+		lo := s.DrawNs(&d)
+		d.CoverageFrac = b
+		hi := s.DrawNs(&d)
+		return hi >= lo-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with noise disabled, cost is monotone in vertex count.
+func TestCostMonotoneInVertexCountProperty(t *testing.T) {
+	w := tracetest.Tiny()
+	cfg := BaseConfig()
+	cfg.NoiseAmp = 0
+	s, err := NewSimulator(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(di uint8, aRaw, bRaw uint16) bool {
+		d := w.Frames[0].Draws[int(di)%4]
+		a := int(aRaw)%100000 + 3
+		b := int(bRaw)%100000 + 3
+		if a > b {
+			a, b = b, a
+		}
+		d.VertexCount = a
+		lo := s.DrawNs(&d)
+		d.VertexCount = b
+		hi := s.DrawNs(&d)
+		return hi >= lo-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: raising either clock never slows any draw down (noise is
+// config-independent in direction, but disable it for exactness).
+func TestCostMonotoneInClocksProperty(t *testing.T) {
+	w := tracetest.Tiny()
+	base := BaseConfig()
+	base.NoiseAmp = 0
+	f := func(di uint8, clkRaw uint8) bool {
+		ghz := 0.3 + float64(clkRaw)/255.0*2 // 0.3 .. 2.3
+		slow, err := NewSimulator(base, w)
+		if err != nil {
+			return false
+		}
+		fastCore, err := NewSimulator(base.WithCoreClock(base.CoreClockGHz+ghz), w)
+		if err != nil {
+			return false
+		}
+		fastMem, err := NewSimulator(base.WithMemClock(base.MemClockGHz+ghz), w)
+		if err != nil {
+			return false
+		}
+		d := &w.Frames[0].Draws[int(di)%4]
+		ref := slow.DrawNs(d)
+		return fastCore.DrawNs(d) <= ref+1e-9 && fastMem.DrawNs(d) <= ref+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: noise factors are bounded by the configured sigma cap:
+// cost with noise stays within exp(+-0.5*3.47) of the noiseless cost
+// (Irwin-Hall(4) standardized has |z| <= sqrt(12)).
+func TestNoiseBoundedProperty(t *testing.T) {
+	w := tracetest.Tiny()
+	noisy, err := NewSimulator(BaseConfig(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := BaseConfig()
+	clean.NoiseAmp = 0
+	quiet, err := NewSimulator(clean, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(di uint8, vRaw uint16) bool {
+		d := w.Frames[0].Draws[int(di)%4]
+		d.VertexCount = int(vRaw)%50000 + 3
+		a, b := noisy.DrawNs(&d), quiet.DrawNs(&d)
+		ratio := a / b
+		const maxFactor = 7 // exp(0.5*sqrt(12)) ~ 5.66, with margin
+		return ratio > 1.0/maxFactor && ratio < maxFactor
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,35 @@
+package gpu
+
+import "repro/internal/shader"
+
+// Per-instruction issue costs in EU clocks per element. These are the
+// micro-architecture *dependent* weights the cost model applies to the
+// micro-architecture *independent* instruction mix. SFU ops run on a
+// shared slow path; memory and control flow pay scheduling overhead.
+var opCost = [shader.NumOpKinds]float64{
+	shader.OpALU:    1,
+	shader.OpSFU:    4,
+	shader.OpTex:    1, // issue cost only; memory behaviour priced separately
+	shader.OpInterp: 1,
+	shader.OpMem:    2,
+	shader.OpCF:     2,
+}
+
+// programCost summarizes a shader program for the cost model.
+type programCost struct {
+	clocksPerElem float64 // EU clocks per shaded element (vertex or pixel)
+	texPerElem    float64 // texture samples issued per element
+}
+
+// analyzeProgram prices one program. Results are cached per simulator
+// since shader bodies are immutable once registered.
+func analyzeProgram(p *shader.Program) programCost {
+	var pc programCost
+	for _, in := range p.Body {
+		pc.clocksPerElem += opCost[in.Op]
+		if in.Op == shader.OpTex {
+			pc.texPerElem++
+		}
+	}
+	return pc
+}

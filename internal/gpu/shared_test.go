@@ -1,0 +1,98 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/tracetest"
+)
+
+func TestFrameDetailedBasics(t *testing.T) {
+	s, w := newSim(t, BaseConfig())
+	f := &w.Frames[0]
+	res, err := s.FrameDetailed(f, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DrawNs) != len(f.Draws) {
+		t.Fatalf("per-draw costs = %d", len(res.DrawNs))
+	}
+	var sum float64
+	for _, v := range res.DrawNs {
+		if v <= 0 {
+			t.Fatal("non-positive in-context draw cost")
+		}
+		sum += v
+	}
+	if math.Abs(sum-res.TotalNs) > 1e-6 {
+		t.Errorf("TotalNs %v != draw sum %v", res.TotalNs, sum)
+	}
+	if got, want := res.ContextFreeNs, s.FrameNs(f); math.Abs(got-want) > 1e-6 {
+		t.Errorf("ContextFreeNs %v != FrameNs %v", got, want)
+	}
+	if res.SharedHitRate <= 0 || res.SharedHitRate >= 1 {
+		t.Errorf("shared hit rate = %v", res.SharedHitRate)
+	}
+	if _, err := s.FrameDetailed(f, 0); err == nil {
+		t.Error("zero cap accepted")
+	}
+}
+
+func TestFrameDetailedDeterministic(t *testing.T) {
+	s, w := newSim(t, BaseConfig())
+	a, err := s.FrameDetailed(&w.Frames[0], 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.FrameDetailed(&w.Frames[0], 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalNs != b.TotalNs || a.SharedHitRate != b.SharedHitRate {
+		t.Error("detailed frame replay not deterministic")
+	}
+}
+
+func TestSharedCacheBenefitsRepeatedDraws(t *testing.T) {
+	// A frame that draws the same textured material twice should cost
+	// less in shared-cache mode than context-free pricing (the second
+	// draw starts warm), as long as the working set fits the cache.
+	w := tracetest.Tiny()
+	texDraw := w.Frames[0].Draws[0] // textured material
+	frame := trace.Frame{Scene: "x", Draws: []trace.DrawCall{texDraw, texDraw, texDraw, texDraw}}
+	w.Frames = []trace.Frame{frame}
+	cfg := BaseConfig()
+	cfg.TexCacheKB = 8192 // everything fits
+	cfg.NoiseAmp = 0      // keep the comparison exact
+	s, err := NewSimulator(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.FrameDetailed(&w.Frames[0], 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalNs >= res.ContextFreeNs {
+		t.Errorf("shared cache did not help repeated draws: %v >= %v", res.TotalNs, res.ContextFreeNs)
+	}
+	// Later draws must be cheaper than the first (they hit the cache).
+	if res.DrawNs[3] >= res.DrawNs[0] {
+		t.Errorf("4th draw (%v) not cheaper than 1st (%v)", res.DrawNs[3], res.DrawNs[0])
+	}
+}
+
+func TestFrameDetailedContextGapBounded(t *testing.T) {
+	// On the fixture, context-dependent and context-free frame costs
+	// should agree within a modest factor — the assumption the paper's
+	// methodology relies on.
+	s, w := newSim(t, BaseConfig())
+	res, err := s.FrameDetailed(&w.Frames[0], 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := math.Abs(res.TotalNs-res.ContextFreeNs) / res.ContextFreeNs
+	if gap > 0.5 {
+		t.Errorf("context gap = %.1f%%, implausibly large", gap*100)
+	}
+}

@@ -1,0 +1,85 @@
+package gpu
+
+import "fmt"
+
+// TexCache is an exact set-associative LRU cache used in detailed
+// mode. The analytic hit-rate model in memmodel.go is calibrated
+// against it (TestAnalyticModelTracksLRU), which is what lets the fast
+// analytic path stand in for per-access simulation on 828K-draw
+// corpora.
+type TexCache struct {
+	lineB   int
+	ways    int
+	numSets int
+	// sets[s] holds up to `ways` tags in MRU-first order.
+	sets   [][]uint64
+	hits   uint64
+	misses uint64
+}
+
+// NewTexCache builds a cache of sizeKB kilobytes with the given line
+// size and associativity. Geometry must divide evenly; the Config
+// validator enforces the same rule.
+func NewTexCache(sizeKB, lineB, ways int) (*TexCache, error) {
+	if sizeKB <= 0 || lineB <= 0 || ways <= 0 {
+		return nil, fmt.Errorf("gpu: cache geometry %dKB/%dB/%d-way invalid", sizeKB, lineB, ways)
+	}
+	total := sizeKB * 1024
+	setBytes := lineB * ways
+	if total%setBytes != 0 {
+		return nil, fmt.Errorf("gpu: cache size %dKB not divisible into %d-way sets of %dB lines", sizeKB, ways, lineB)
+	}
+	numSets := total / setBytes
+	c := &TexCache{lineB: lineB, ways: ways, numSets: numSets, sets: make([][]uint64, numSets)}
+	for i := range c.sets {
+		c.sets[i] = make([]uint64, 0, ways)
+	}
+	return c, nil
+}
+
+// Access looks up the byte address and returns whether it hit. On a
+// miss the line is installed, evicting the LRU line if the set is full.
+func (c *TexCache) Access(addr uint64) bool {
+	line := addr / uint64(c.lineB)
+	set := c.sets[line%uint64(c.numSets)]
+	for i, tag := range set {
+		if tag == line {
+			// Move to MRU position.
+			copy(set[1:i+1], set[:i])
+			set[0] = line
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	if len(set) < c.ways {
+		set = append(set, 0)
+	}
+	copy(set[1:], set[:len(set)-1])
+	set[0] = line
+	c.sets[line%uint64(c.numSets)] = set
+	return false
+}
+
+// Hits returns the number of hits recorded.
+func (c *TexCache) Hits() uint64 { return c.hits }
+
+// Misses returns the number of misses recorded.
+func (c *TexCache) Misses() uint64 { return c.misses }
+
+// HitRate returns hits / accesses, or 0 with no accesses.
+func (c *TexCache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// Reset clears contents and counters.
+func (c *TexCache) Reset() {
+	for i := range c.sets {
+		c.sets[i] = c.sets[i][:0]
+	}
+	c.hits, c.misses = 0, 0
+}

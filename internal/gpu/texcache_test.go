@@ -1,0 +1,165 @@
+package gpu
+
+import (
+	"testing"
+
+	"repro/internal/dcmath"
+)
+
+func mustCache(t *testing.T, kb, line, ways int) *TexCache {
+	t.Helper()
+	c, err := NewTexCache(kb, line, ways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestTexCacheColdMissThenHit(t *testing.T) {
+	c := mustCache(t, 4, 64, 2)
+	if c.Access(0) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(0) {
+		t.Error("repeat access missed")
+	}
+	if !c.Access(63) {
+		t.Error("same-line access missed")
+	}
+	if c.Access(64) {
+		t.Error("next-line cold access hit")
+	}
+	if c.Hits() != 2 || c.Misses() != 2 {
+		t.Errorf("hits/misses = %d/%d", c.Hits(), c.Misses())
+	}
+	if c.HitRate() != 0.5 {
+		t.Errorf("hit rate = %v", c.HitRate())
+	}
+}
+
+func TestTexCacheLRUEviction(t *testing.T) {
+	// 2-way, line 64, 2 sets (256 B total — below NewTexCache's 1 KB
+	// granularity, so construct directly). Lines 0, 2, 4 map to set 0.
+	cc := &TexCache{lineB: 64, ways: 2, numSets: 2, sets: make([][]uint64, 2)}
+	for i := range cc.sets {
+		cc.sets[i] = make([]uint64, 0, 2)
+	}
+	cc.Access(0 * 64)      // miss, set0: [0]
+	cc.Access(2 * 64)      // miss, set0: [2 0]
+	cc.Access(0 * 64)      // hit,  set0: [0 2]
+	cc.Access(4 * 64)      // miss, evicts LRU (line 2), set0: [4 0]
+	if cc.Access(2 * 64) { // line 2 was evicted; this refill evicts line 0
+		t.Error("evicted line hit")
+	}
+	if !cc.Access(4 * 64) { // line 4 must have survived (was MRU before refill)
+		t.Error("MRU-protected line was evicted")
+	}
+}
+
+func TestTexCacheGeometryErrors(t *testing.T) {
+	if _, err := NewTexCache(0, 64, 8); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := NewTexCache(7, 64, 3); err == nil { // 7168 % 192 != 0
+		t.Error("non-divisible geometry accepted")
+	}
+	if _, err := NewTexCache(4, 0, 1); err == nil {
+		t.Error("zero line accepted")
+	}
+}
+
+func TestTexCacheReset(t *testing.T) {
+	c := mustCache(t, 4, 64, 2)
+	c.Access(0)
+	c.Access(0)
+	c.Reset()
+	if c.Hits() != 0 || c.Misses() != 0 {
+		t.Error("counters not reset")
+	}
+	if c.Access(0) {
+		t.Error("contents not reset")
+	}
+}
+
+func TestTexCacheWorkingSetBehaviour(t *testing.T) {
+	// A working set that fits should hit almost always after warmup; one
+	// that doesn't (with LRU and a cyclic scan) should thrash.
+	run := func(kb int, wsLines int) float64 {
+		c := mustCache(t, kb, 64, 8)
+		for pass := 0; pass < 10; pass++ {
+			for l := 0; l < wsLines; l++ {
+				c.Access(uint64(l) * 64)
+			}
+		}
+		return c.HitRate()
+	}
+	fits := run(64, 512)    // 32 KB ws in 64 KB cache
+	thrash := run(64, 2048) // 128 KB ws in 64 KB cache, cyclic scan
+	if fits < 0.85 {
+		t.Errorf("fitting working set hit rate = %v, want high", fits)
+	}
+	if thrash > 0.1 {
+		t.Errorf("thrashing working set hit rate = %v, want ~0 (LRU cyclic scan)", thrash)
+	}
+}
+
+func TestAnalyticModelTracksLRU(t *testing.T) {
+	// The analytic model must move in the same direction as the real
+	// cache across working-set sizes: bigger ws -> lower hit rate.
+	const lineB, texel = 64, 4
+	measure := func(kb int, wsBytes float64) float64 {
+		c := mustCache(t, kb, lineB, 8)
+		rng := dcmath.NewRNG(99)
+		wsTexels := uint64(wsBytes / texel)
+		pos := uint64(0)
+		for i := 0; i < 200000; i++ {
+			if !rng.Bool(sequentialRunProb) {
+				pos = rng.Uint64() % wsTexels
+			}
+			c.Access(pos * texel)
+			pos = (pos + 1) % wsTexels
+		}
+		return c.HitRate()
+	}
+	for _, kb := range []int{64, 256} {
+		prevModel, prevReal := 1.0, 1.0
+		for _, ws := range []float64{16e3, 128e3, 1e6, 8e6} {
+			m := modelTexTraffic(200000, ws, kb*1024, lineB).HitRate
+			r := measure(kb, ws)
+			if m > prevModel+1e-9 {
+				t.Errorf("analytic hit rate increased with ws (%v KB, ws %v)", kb, ws)
+			}
+			if r > prevReal+0.02 {
+				t.Errorf("measured hit rate increased with ws (%v KB, ws %v): %v > %v", kb, ws, r, prevReal)
+			}
+			prevModel, prevReal = m, r
+		}
+	}
+	// Bigger cache must not hurt, in both model and measurement, for a
+	// working set between the two sizes.
+	ws := 500e3
+	if modelTexTraffic(200000, ws, 64*1024, lineB).HitRate >
+		modelTexTraffic(200000, ws, 1024*1024, lineB).HitRate {
+		t.Error("analytic model: larger cache lowered hit rate")
+	}
+	if measure(64, ws) > measure(1024, ws)+0.02 {
+		t.Error("LRU cache: larger cache lowered hit rate")
+	}
+}
+
+func TestModelTexTrafficEdges(t *testing.T) {
+	if got := modelTexTraffic(0, 100, 1024, 64); got.HitRate != 1 || got.Bytes != 0 {
+		t.Errorf("no samples: %+v", got)
+	}
+	if got := modelTexTraffic(100, 0, 1024, 64); got.HitRate != 1 {
+		t.Errorf("no working set: %+v", got)
+	}
+	// Misses capped at sample count.
+	got := modelTexTraffic(10, 1e9, 1024, 64)
+	if got.Misses > 10 {
+		t.Errorf("misses %v exceed samples", got.Misses)
+	}
+	if got.HitRate != 0 {
+		t.Errorf("fully thrashing hit rate = %v", got.HitRate)
+	}
+}

@@ -1,0 +1,114 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EigenSym computes all eigenvalues and eigenvectors of a symmetric
+// matrix using the cyclic Jacobi rotation method. Results are returned
+// sorted by descending eigenvalue; eigenvectors are the columns of the
+// returned matrix (vectors.Col(k) pairs with values[k]).
+//
+// The input must be square and symmetric; EigenSym returns an error
+// otherwise, and also if the iteration fails to converge (which for
+// Jacobi on genuinely symmetric input effectively never happens).
+func EigenSym(m *Matrix) (values []float64, vectors *Matrix, err error) {
+	if m.Rows != m.Cols {
+		return nil, nil, fmt.Errorf("linalg: EigenSym on %dx%d non-square matrix", m.Rows, m.Cols)
+	}
+	if !m.IsSymmetric(1e-9) {
+		return nil, nil, fmt.Errorf("linalg: EigenSym on non-symmetric matrix")
+	}
+	n := m.Rows
+	a := m.Clone()
+	v := Identity(n)
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(a)
+		if off < 1e-12 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a.At(p, q)
+				if math.Abs(apq) < 1e-15 {
+					continue
+				}
+				app, aqq := a.At(p, p), a.At(q, q)
+				// Compute the Jacobi rotation that zeroes a[p][q].
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+
+				applyJacobi(a, p, q, c, s)
+				// Accumulate rotation into the eigenvector matrix.
+				for i := 0; i < n; i++ {
+					vip, viq := v.At(i, p), v.At(i, q)
+					v.Set(i, p, c*vip-s*viq)
+					v.Set(i, q, s*vip+c*viq)
+				}
+			}
+		}
+		if sweep == maxSweeps-1 && offDiagNorm(a) >= 1e-10 {
+			return nil, nil, fmt.Errorf("linalg: Jacobi failed to converge after %d sweeps", maxSweeps)
+		}
+	}
+
+	values = make([]float64, n)
+	for i := range values {
+		values[i] = a.At(i, i)
+	}
+	// Sort descending by eigenvalue, permuting eigenvector columns along.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return values[order[i]] > values[order[j]] })
+	sortedVals := make([]float64, n)
+	sortedVecs := NewMatrix(n, n)
+	for k, idx := range order {
+		sortedVals[k] = values[idx]
+		for i := 0; i < n; i++ {
+			sortedVecs.Set(i, k, v.At(i, idx))
+		}
+	}
+	return sortedVals, sortedVecs, nil
+}
+
+// offDiagNorm returns the Frobenius norm of the off-diagonal part of a.
+func offDiagNorm(a *Matrix) float64 {
+	var s float64
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if i != j {
+				s += a.At(i, j) * a.At(i, j)
+			}
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// applyJacobi performs the two-sided rotation A <- J^T A J on rows and
+// columns p and q with cosine c and sine s, preserving symmetry.
+func applyJacobi(a *Matrix, p, q int, c, s float64) {
+	n := a.Rows
+	app, aqq, apq := a.At(p, p), a.At(q, q), a.At(p, q)
+	a.Set(p, p, c*c*app-2*s*c*apq+s*s*aqq)
+	a.Set(q, q, s*s*app+2*s*c*apq+c*c*aqq)
+	a.Set(p, q, 0)
+	a.Set(q, p, 0)
+	for i := 0; i < n; i++ {
+		if i == p || i == q {
+			continue
+		}
+		aip, aiq := a.At(i, p), a.At(i, q)
+		a.Set(i, p, c*aip-s*aiq)
+		a.Set(p, i, c*aip-s*aiq)
+		a.Set(i, q, s*aip+c*aiq)
+		a.Set(q, i, s*aip+c*aiq)
+	}
+}

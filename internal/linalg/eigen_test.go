@@ -1,0 +1,113 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dcmath"
+)
+
+func TestEigenSymDiagonal(t *testing.T) {
+	m := FromRows([][]float64{{3, 0}, {0, 1}})
+	vals, vecs, err := EigenSym(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-3) > 1e-9 || math.Abs(vals[1]-1) > 1e-9 {
+		t.Errorf("eigenvalues = %v, want [3 1]", vals)
+	}
+	// First eigenvector should be +-e1.
+	v0 := vecs.Col(0)
+	if math.Abs(math.Abs(v0[0])-1) > 1e-9 || math.Abs(v0[1]) > 1e-9 {
+		t.Errorf("first eigenvector = %v", v0)
+	}
+}
+
+func TestEigenSymKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	m := FromRows([][]float64{{2, 1}, {1, 2}})
+	vals, vecs, err := EigenSym(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-3) > 1e-9 || math.Abs(vals[1]-1) > 1e-9 {
+		t.Errorf("eigenvalues = %v, want [3 1]", vals)
+	}
+	// Check A v = lambda v for both pairs.
+	for k := 0; k < 2; k++ {
+		v := vecs.Col(k)
+		av := m.MulVec(v)
+		for i := range av {
+			if math.Abs(av[i]-vals[k]*v[i]) > 1e-9 {
+				t.Errorf("A v != lambda v for pair %d: %v vs %v", k, av, vals[k])
+			}
+		}
+	}
+}
+
+func TestEigenSymRandomReconstruction(t *testing.T) {
+	r := dcmath.NewRNG(9)
+	n := 6
+	// Build a random symmetric matrix.
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := r.Normal(0, 2)
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	vals, vecs, err := EigenSym(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eigenvalues sorted descending.
+	for k := 1; k < n; k++ {
+		if vals[k] > vals[k-1]+1e-9 {
+			t.Errorf("eigenvalues not sorted: %v", vals)
+		}
+	}
+	// Eigenvectors orthonormal: V^T V = I.
+	vtv := vecs.T().Mul(vecs)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(vtv.At(i, j)-want) > 1e-8 {
+				t.Fatalf("V^T V [%d][%d] = %v, want %v", i, j, vtv.At(i, j), want)
+			}
+		}
+	}
+	// Reconstruction: V diag(vals) V^T == m.
+	d := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		d.Set(i, i, vals[i])
+	}
+	rec := vecs.Mul(d).Mul(vecs.T())
+	for i := range rec.Data {
+		if math.Abs(rec.Data[i]-m.Data[i]) > 1e-8 {
+			t.Fatalf("reconstruction mismatch at %d: %v vs %v", i, rec.Data[i], m.Data[i])
+		}
+	}
+	// Trace preserved.
+	var trM, trVals float64
+	for i := 0; i < n; i++ {
+		trM += m.At(i, i)
+		trVals += vals[i]
+	}
+	if math.Abs(trM-trVals) > 1e-8 {
+		t.Errorf("trace %v != eigenvalue sum %v", trM, trVals)
+	}
+}
+
+func TestEigenSymErrors(t *testing.T) {
+	if _, _, err := EigenSym(NewMatrix(2, 3)); err == nil {
+		t.Error("non-square should error")
+	}
+	asym := FromRows([][]float64{{1, 2}, {0, 1}})
+	if _, _, err := EigenSym(asym); err == nil {
+		t.Error("non-symmetric should error")
+	}
+}

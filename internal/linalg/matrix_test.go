@@ -1,0 +1,146 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dcmath"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 5 || m.At(0, 1) != 0 {
+		t.Error("Set/At mismatch")
+	}
+	row := m.Row(1)
+	row[0] = 7
+	if m.At(1, 0) != 7 {
+		t.Error("Row should be a mutable view")
+	}
+	col := m.Col(0)
+	if col[0] != 1 || col[1] != 7 {
+		t.Errorf("Col = %v", col)
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(1, 0) != 3 {
+		t.Error("FromRows content wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged FromRows should panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("T dims %dx%d", tr.Rows, tr.Cols)
+	}
+	if tr.At(2, 1) != 6 || tr.At(0, 1) != 4 {
+		t.Error("T content wrong")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("Mul[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+	id := Identity(2)
+	ci := c.Mul(id)
+	for i := range ci.Data {
+		if ci.Data[i] != c.Data[i] {
+			t.Fatal("Mul by identity changed matrix")
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	v := m.MulVec([]float64{1, 1})
+	if v[0] != 3 || v[1] != 7 {
+		t.Errorf("MulVec = %v", v)
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone did not deep copy")
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	s := FromRows([][]float64{{2, 1}, {1, 2}})
+	if !s.IsSymmetric(0) {
+		t.Error("should be symmetric")
+	}
+	a := FromRows([][]float64{{2, 1}, {0, 2}})
+	if a.IsSymmetric(1e-12) {
+		t.Error("should not be symmetric")
+	}
+	rect := NewMatrix(2, 3)
+	if rect.IsSymmetric(1) {
+		t.Error("rectangular cannot be symmetric")
+	}
+}
+
+func TestCovarianceMatrix(t *testing.T) {
+	// Two perfectly correlated variables.
+	x := FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	cov := CovarianceMatrix(x)
+	// Var(x1) = 2/3, Var(x2) = 8/3, Cov = 4/3.
+	if math.Abs(cov.At(0, 0)-2.0/3) > 1e-12 {
+		t.Errorf("Var(x1) = %v", cov.At(0, 0))
+	}
+	if math.Abs(cov.At(1, 1)-8.0/3) > 1e-12 {
+		t.Errorf("Var(x2) = %v", cov.At(1, 1))
+	}
+	if math.Abs(cov.At(0, 1)-4.0/3) > 1e-12 || cov.At(0, 1) != cov.At(1, 0) {
+		t.Errorf("Cov = %v / %v", cov.At(0, 1), cov.At(1, 0))
+	}
+}
+
+func TestCovarianceAgainstDcmath(t *testing.T) {
+	r := dcmath.NewRNG(3)
+	n := 200
+	x := NewMatrix(n, 2)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, r.Normal(1, 2))
+		x.Set(i, 1, r.Normal(-1, 3))
+	}
+	cov := CovarianceMatrix(x)
+	c0, c1 := x.Col(0), x.Col(1)
+	if got, want := cov.At(0, 1), dcmath.Covariance(c0, c1); math.Abs(got-want) > 1e-9 {
+		t.Errorf("cov = %v, dcmath = %v", got, want)
+	}
+	if got, want := cov.At(0, 0), dcmath.Variance(c0); math.Abs(got-want) > 1e-9 {
+		t.Errorf("var = %v, dcmath = %v", got, want)
+	}
+}
+
+func TestNewMatrixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMatrix(0, 3)
+}

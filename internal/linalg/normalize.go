@@ -1,0 +1,128 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Normalizer rescales feature vectors so that distance computations
+// weight all features comparably. Implementations are fitted on a
+// matrix of observations and then applied row-by-row.
+type Normalizer interface {
+	// Fit learns scaling parameters from x (rows = observations).
+	Fit(x *Matrix)
+	// Apply rescales v in place. It panics if the normalizer has not
+	// been fitted or the dimensionality mismatches.
+	Apply(v []float64)
+	// Name identifies the normalizer in reports and ablations.
+	Name() string
+}
+
+// ZScore normalizes each feature to zero mean, unit standard
+// deviation. Constant features are left centered at zero rather than
+// divided by zero.
+type ZScore struct {
+	mean, invStd []float64
+}
+
+// Name implements Normalizer.
+func (z *ZScore) Name() string { return "zscore" }
+
+// Fit implements Normalizer.
+func (z *ZScore) Fit(x *Matrix) {
+	d := x.Cols
+	z.mean = make([]float64, d)
+	z.invStd = make([]float64, d)
+	for i := 0; i < x.Rows; i++ {
+		Axpy(1, x.Row(i), z.mean)
+	}
+	Scale(1/float64(x.Rows), z.mean)
+	variance := make([]float64, d)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		for j := 0; j < d; j++ {
+			dd := row[j] - z.mean[j]
+			variance[j] += dd * dd
+		}
+	}
+	for j := 0; j < d; j++ {
+		sd := math.Sqrt(variance[j] / float64(x.Rows))
+		if sd > 0 {
+			z.invStd[j] = 1 / sd
+		} // constant feature: invStd stays 0 -> feature collapses to 0
+	}
+}
+
+// Apply implements Normalizer.
+func (z *ZScore) Apply(v []float64) {
+	if z.mean == nil {
+		panic("linalg: ZScore.Apply before Fit")
+	}
+	if len(v) != len(z.mean) {
+		panic(fmt.Sprintf("linalg: ZScore dim %d, fitted on %d", len(v), len(z.mean)))
+	}
+	for j := range v {
+		v[j] = (v[j] - z.mean[j]) * z.invStd[j]
+	}
+}
+
+// MinMax normalizes each feature into [0, 1] based on the fitted range.
+// Constant features collapse to 0.
+type MinMax struct {
+	min, invRange []float64
+}
+
+// Name implements Normalizer.
+func (m *MinMax) Name() string { return "minmax" }
+
+// Fit implements Normalizer.
+func (m *MinMax) Fit(x *Matrix) {
+	d := x.Cols
+	m.min = make([]float64, d)
+	maxv := make([]float64, d)
+	copy(m.min, x.Row(0))
+	copy(maxv, x.Row(0))
+	for i := 1; i < x.Rows; i++ {
+		row := x.Row(i)
+		for j := 0; j < d; j++ {
+			if row[j] < m.min[j] {
+				m.min[j] = row[j]
+			}
+			if row[j] > maxv[j] {
+				maxv[j] = row[j]
+			}
+		}
+	}
+	m.invRange = make([]float64, d)
+	for j := 0; j < d; j++ {
+		if r := maxv[j] - m.min[j]; r > 0 {
+			m.invRange[j] = 1 / r
+		}
+	}
+}
+
+// Apply implements Normalizer.
+func (m *MinMax) Apply(v []float64) {
+	if m.min == nil {
+		panic("linalg: MinMax.Apply before Fit")
+	}
+	if len(v) != len(m.min) {
+		panic(fmt.Sprintf("linalg: MinMax dim %d, fitted on %d", len(v), len(m.min)))
+	}
+	for j := range v {
+		v[j] = (v[j] - m.min[j]) * m.invRange[j]
+	}
+}
+
+// Identity1 is a no-op normalizer used as the "none" arm of the
+// normalization ablation.
+type Identity1 struct{}
+
+// Name implements Normalizer.
+func (Identity1) Name() string { return "none" }
+
+// Fit implements Normalizer.
+func (Identity1) Fit(*Matrix) {}
+
+// Apply implements Normalizer.
+func (Identity1) Apply([]float64) {}

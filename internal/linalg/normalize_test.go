@@ -1,0 +1,111 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dcmath"
+)
+
+func TestZScore(t *testing.T) {
+	x := FromRows([][]float64{{1, 10}, {2, 20}, {3, 30}})
+	var z ZScore
+	z.Fit(x)
+	// Apply to each row and check the resulting columns have mean 0, sd 1.
+	c0 := make([]float64, 3)
+	c1 := make([]float64, 3)
+	for i := 0; i < 3; i++ {
+		v := CloneVec(x.Row(i))
+		z.Apply(v)
+		c0[i], c1[i] = v[0], v[1]
+	}
+	if m := dcmath.Mean(c0); math.Abs(m) > 1e-12 {
+		t.Errorf("zscore mean = %v", m)
+	}
+	if sd := dcmath.StdDev(c1); math.Abs(sd-1) > 1e-12 {
+		t.Errorf("zscore sd = %v", sd)
+	}
+	if z.Name() != "zscore" {
+		t.Error("name")
+	}
+}
+
+func TestZScoreConstantFeature(t *testing.T) {
+	x := FromRows([][]float64{{5, 1}, {5, 2}, {5, 3}})
+	var z ZScore
+	z.Fit(x)
+	v := []float64{5, 2}
+	z.Apply(v)
+	if v[0] != 0 {
+		t.Errorf("constant feature should map to 0, got %v", v[0])
+	}
+	if math.IsNaN(v[1]) || math.IsInf(v[1], 0) {
+		t.Errorf("live feature corrupted: %v", v[1])
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	x := FromRows([][]float64{{0, -10}, {10, 10}})
+	var m MinMax
+	m.Fit(x)
+	v := []float64{5, 0}
+	m.Apply(v)
+	if v[0] != 0.5 || v[1] != 0.5 {
+		t.Errorf("minmax = %v, want [0.5 0.5]", v)
+	}
+	lo := []float64{0, -10}
+	m.Apply(lo)
+	if lo[0] != 0 || lo[1] != 0 {
+		t.Errorf("minmax lo = %v", lo)
+	}
+	hi := []float64{10, 10}
+	m.Apply(hi)
+	if hi[0] != 1 || hi[1] != 1 {
+		t.Errorf("minmax hi = %v", hi)
+	}
+	if m.Name() != "minmax" {
+		t.Error("name")
+	}
+}
+
+func TestMinMaxConstantFeature(t *testing.T) {
+	x := FromRows([][]float64{{7}, {7}})
+	var m MinMax
+	m.Fit(x)
+	v := []float64{7}
+	m.Apply(v)
+	if v[0] != 0 {
+		t.Errorf("constant feature = %v, want 0", v[0])
+	}
+}
+
+func TestIdentityNormalizer(t *testing.T) {
+	var id Identity1
+	id.Fit(nil)
+	v := []float64{3, 4}
+	id.Apply(v)
+	if v[0] != 3 || v[1] != 4 {
+		t.Error("Identity1 modified vector")
+	}
+	if id.Name() != "none" {
+		t.Error("name")
+	}
+}
+
+func TestApplyBeforeFitPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zscore": func() { (&ZScore{}).Apply([]float64{1}) },
+		"minmax": func() { (&MinMax{}).Apply([]float64{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: Apply before Fit should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+var _ = []Normalizer{&ZScore{}, &MinMax{}, Identity1{}} // interface conformance

@@ -1,0 +1,71 @@
+package linalg
+
+import "fmt"
+
+// PCA holds a fitted principal component analysis: the mean of the
+// training data and the top-k component directions.
+type PCA struct {
+	Mean       []float64 // column means of the training matrix
+	Components *Matrix   // k x d, each row is one principal direction
+	Explained  []float64 // fraction of total variance per kept component
+}
+
+// FitPCA fits a PCA on X (rows = observations, columns = variables),
+// keeping the k components with the largest variance. k is clamped to
+// the number of variables.
+func FitPCA(x *Matrix, k int) (*PCA, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("linalg: FitPCA with k=%d", k)
+	}
+	if k > x.Cols {
+		k = x.Cols
+	}
+	cov := CovarianceMatrix(x)
+	vals, vecs, err := EigenSym(cov)
+	if err != nil {
+		return nil, fmt.Errorf("linalg: FitPCA eigendecomposition: %w", err)
+	}
+	var total float64
+	for _, v := range vals {
+		if v > 0 {
+			total += v
+		}
+	}
+	mean := make([]float64, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		Axpy(1, x.Row(i), mean)
+	}
+	Scale(1/float64(x.Rows), mean)
+
+	comp := NewMatrix(k, x.Cols)
+	explained := make([]float64, k)
+	for c := 0; c < k; c++ {
+		col := vecs.Col(c)
+		copy(comp.Row(c), col)
+		if total > 0 && vals[c] > 0 {
+			explained[c] = vals[c] / total
+		}
+	}
+	return &PCA{Mean: mean, Components: comp, Explained: explained}, nil
+}
+
+// Transform projects v onto the fitted components, returning a vector
+// of length k. It panics if v does not match the training
+// dimensionality — a schema bug, not a runtime condition.
+func (p *PCA) Transform(v []float64) []float64 {
+	if len(v) != len(p.Mean) {
+		panic(fmt.Sprintf("linalg: PCA.Transform dim %d, trained on %d", len(v), len(p.Mean)))
+	}
+	centered := CloneVec(v)
+	Axpy(-1, p.Mean, centered)
+	return p.Components.MulVec(centered)
+}
+
+// TransformMatrix projects every row of x, returning an n x k matrix.
+func (p *PCA) TransformMatrix(x *Matrix) *Matrix {
+	out := NewMatrix(x.Rows, p.Components.Rows)
+	for i := 0; i < x.Rows; i++ {
+		copy(out.Row(i), p.Transform(x.Row(i)))
+	}
+	return out
+}

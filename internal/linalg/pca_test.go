@@ -1,0 +1,108 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dcmath"
+)
+
+// buildCorrelatedData produces points stretched along the (1,1)
+// direction with small orthogonal noise.
+func buildCorrelatedData(n int, seed uint64) *Matrix {
+	r := dcmath.NewRNG(seed)
+	x := NewMatrix(n, 2)
+	for i := 0; i < n; i++ {
+		tt := r.Normal(0, 3)
+		noise := r.Normal(0, 0.1)
+		x.Set(i, 0, tt+noise)
+		x.Set(i, 1, tt-noise)
+	}
+	return x
+}
+
+func TestFitPCADirection(t *testing.T) {
+	x := buildCorrelatedData(500, 1)
+	p, err := FitPCA(x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := p.Components.Row(0)
+	// The dominant direction should be ±(1,1)/sqrt(2).
+	want := 1 / math.Sqrt2
+	if math.Abs(math.Abs(dir[0])-want) > 0.02 || math.Abs(math.Abs(dir[1])-want) > 0.02 {
+		t.Errorf("first component = %v, want ~±(0.707, 0.707)", dir)
+	}
+	if p.Explained[0] < 0.95 {
+		t.Errorf("explained variance = %v, want > 0.95", p.Explained[0])
+	}
+}
+
+func TestPCATransformCentersData(t *testing.T) {
+	x := buildCorrelatedData(300, 2)
+	p, err := FitPCA(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj := p.TransformMatrix(x)
+	if proj.Rows != 300 || proj.Cols != 2 {
+		t.Fatalf("projection dims %dx%d", proj.Rows, proj.Cols)
+	}
+	// Projected data must have ~zero mean in every component.
+	for c := 0; c < 2; c++ {
+		if m := dcmath.Mean(proj.Col(c)); math.Abs(m) > 1e-9 {
+			t.Errorf("projected mean of component %d = %v", c, m)
+		}
+	}
+	// Variance of component 0 >= component 1 (sorted by eigenvalue).
+	v0, v1 := dcmath.Variance(proj.Col(0)), dcmath.Variance(proj.Col(1))
+	if v0 < v1 {
+		t.Errorf("component variances not sorted: %v < %v", v0, v1)
+	}
+}
+
+func TestPCADistancePreservedFullRank(t *testing.T) {
+	// With k = d, PCA is a rigid rotation: pairwise distances survive.
+	x := buildCorrelatedData(50, 3)
+	p, err := FitPCA(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := x.Row(4), x.Row(17)
+	pa, pb := p.Transform(a), p.Transform(b)
+	if math.Abs(L2Dist(a, b)-L2Dist(pa, pb)) > 1e-8 {
+		t.Errorf("full-rank PCA changed distance: %v vs %v", L2Dist(a, b), L2Dist(pa, pb))
+	}
+}
+
+func TestFitPCAClampsK(t *testing.T) {
+	x := buildCorrelatedData(50, 4)
+	p, err := FitPCA(x, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Components.Rows != 2 {
+		t.Errorf("k not clamped: %d components", p.Components.Rows)
+	}
+}
+
+func TestFitPCAErrors(t *testing.T) {
+	x := buildCorrelatedData(10, 5)
+	if _, err := FitPCA(x, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+}
+
+func TestPCATransformPanicsOnDimMismatch(t *testing.T) {
+	x := buildCorrelatedData(10, 6)
+	p, err := FitPCA(x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Transform([]float64{1, 2, 3})
+}

@@ -1,0 +1,124 @@
+// Package linalg provides the small dense linear-algebra kernel the
+// subsetting pipeline needs: vectors, matrices, a Jacobi symmetric
+// eigensolver, principal component analysis, and feature normalizers.
+//
+// It is intentionally minimal — only what feature normalization and the
+// PCA ablation require — and depends on nothing but the standard
+// library.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of a and b. It panics on length
+// mismatch: mismatched feature vectors indicate a schema bug, not a
+// runtime condition to recover from.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, x := range a {
+		s += x * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
+
+// L2Dist returns the Euclidean distance between a and b.
+func L2Dist(a, b []float64) float64 { return math.Sqrt(SqDist(a, b)) }
+
+// SqDist returns the squared Euclidean distance between a and b.
+// It panics on length mismatch.
+func SqDist(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: SqDist length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, x := range a {
+		d := x - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// L1Dist returns the Manhattan distance between a and b.
+// It panics on length mismatch.
+func L1Dist(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: L1Dist length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, x := range a {
+		s += math.Abs(x - b[i])
+	}
+	return s
+}
+
+// ChebyshevDist returns the max-coordinate distance between a and b.
+// It panics on length mismatch.
+func ChebyshevDist(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: ChebyshevDist length mismatch %d vs %d", len(a), len(b)))
+	}
+	var m float64
+	for i, x := range a {
+		if d := math.Abs(x - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// CosineSim returns the cosine similarity of a and b, or 0 if either
+// vector is zero (the conventional "no information" value for sparse
+// usage vectors such as shader vectors).
+func CosineSim(a, b []float64) float64 {
+	na, nb := Norm2(a), Norm2(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// Axpy computes y += alpha * x in place. It panics on length mismatch.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("linalg: Axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scale multiplies v by alpha in place.
+func Scale(alpha float64, v []float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// CloneVec returns a copy of v.
+func CloneVec(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// EqualVec reports whether a and b have the same length and all
+// components within tol of each other.
+func EqualVec(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}

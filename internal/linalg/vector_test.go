@@ -1,0 +1,119 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dcmath"
+)
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+	if got := Dot(nil, nil); got != 0 {
+		t.Errorf("empty Dot = %v", got)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestNorms(t *testing.T) {
+	if got := Norm2([]float64{3, 4}); got != 5 {
+		t.Errorf("Norm2 = %v", got)
+	}
+	if got := L2Dist([]float64{0, 0}, []float64{3, 4}); got != 5 {
+		t.Errorf("L2Dist = %v", got)
+	}
+	if got := SqDist([]float64{1, 1}, []float64{4, 5}); got != 25 {
+		t.Errorf("SqDist = %v", got)
+	}
+	if got := L1Dist([]float64{1, 2}, []float64{4, 0}); got != 5 {
+		t.Errorf("L1Dist = %v", got)
+	}
+	if got := ChebyshevDist([]float64{1, 2}, []float64{4, 0}); got != 3 {
+		t.Errorf("ChebyshevDist = %v", got)
+	}
+}
+
+func TestCosineSim(t *testing.T) {
+	if got := CosineSim([]float64{1, 0}, []float64{2, 0}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("parallel cosine = %v", got)
+	}
+	if got := CosineSim([]float64{1, 0}, []float64{0, 1}); math.Abs(got) > 1e-12 {
+		t.Errorf("orthogonal cosine = %v", got)
+	}
+	if got := CosineSim([]float64{1, 0}, []float64{-1, 0}); math.Abs(got+1) > 1e-12 {
+		t.Errorf("antiparallel cosine = %v", got)
+	}
+	if got := CosineSim([]float64{0, 0}, []float64{1, 1}); got != 0 {
+		t.Errorf("zero-vector cosine = %v, want 0", got)
+	}
+}
+
+func TestAxpyScale(t *testing.T) {
+	y := []float64{1, 1}
+	Axpy(2, []float64{3, 4}, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Errorf("Axpy result = %v", y)
+	}
+	Scale(0.5, y)
+	if y[0] != 3.5 || y[1] != 4.5 {
+		t.Errorf("Scale result = %v", y)
+	}
+}
+
+func TestCloneEqualVec(t *testing.T) {
+	v := []float64{1, 2, 3}
+	c := CloneVec(v)
+	c[0] = 99
+	if v[0] != 1 {
+		t.Error("CloneVec did not copy")
+	}
+	if !EqualVec([]float64{1, 2}, []float64{1, 2 + 1e-12}, 1e-9) {
+		t.Error("EqualVec should tolerate tiny diff")
+	}
+	if EqualVec([]float64{1}, []float64{1, 2}, 1) {
+		t.Error("EqualVec should reject length mismatch")
+	}
+}
+
+// Property: triangle inequality for L2Dist.
+func TestTriangleInequalityProperty(t *testing.T) {
+	r := dcmath.NewRNG(1)
+	f := func(n uint8) bool {
+		d := int(n%8) + 1
+		a, b, c := make([]float64, d), make([]float64, d), make([]float64, d)
+		for i := 0; i < d; i++ {
+			a[i], b[i], c[i] = r.Normal(0, 5), r.Normal(0, 5), r.Normal(0, 5)
+		}
+		return L2Dist(a, c) <= L2Dist(a, b)+L2Dist(b, c)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Cauchy-Schwarz, |dot(a,b)| <= |a| |b|.
+func TestCauchySchwarzProperty(t *testing.T) {
+	r := dcmath.NewRNG(2)
+	f := func(n uint8) bool {
+		d := int(n%8) + 1
+		a, b := make([]float64, d), make([]float64, d)
+		for i := 0; i < d; i++ {
+			a[i], b[i] = r.Normal(0, 3), r.Normal(0, 3)
+		}
+		return math.Abs(Dot(a, b)) <= Norm2(a)*Norm2(b)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

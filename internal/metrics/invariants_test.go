@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/linalg"
+	"repro/internal/subset"
+	"repro/internal/tracetest"
+)
+
+// singletonClustering puts every draw in its own cluster — the exact,
+// zero-compression limit.
+func singletonClustering(n int) subset.ClusteredFrame {
+	assign := make([]int, n)
+	reps := make([]int, n)
+	weights := make([]float64, n)
+	for i := 0; i < n; i++ {
+		assign[i] = i
+		reps[i] = i
+		weights[i] = 1
+	}
+	return subset.ClusteredFrame{
+		Result:   cluster.Result{Assign: assign, K: n, Centroids: linalg.NewMatrix(n, 1)},
+		RepDraws: reps,
+		Weights:  weights,
+	}
+}
+
+// Invariant: singleton clustering predicts the frame exactly — zero
+// error, zero efficiency, zero outliers.
+func TestSingletonClusteringIsExact(t *testing.T) {
+	w := tracetest.Tiny()
+	f := &w.Frames[0]
+	cf := singletonClustering(len(f.Draws))
+	rep := EvaluateFrame(vertOracle{}, f, &cf, DefaultOutlierThreshold)
+	if rep.RelError != 0 {
+		t.Errorf("singleton error = %v, want 0", rep.RelError)
+	}
+	if rep.Efficiency != 0 {
+		t.Errorf("singleton efficiency = %v, want 0", rep.Efficiency)
+	}
+	if rep.Outliers != 0 {
+		t.Errorf("singleton outliers = %d, want 0", rep.Outliers)
+	}
+	if math.Abs(rep.PredictedNs-rep.ActualNs) > 1e-12 {
+		t.Errorf("predicted %v != actual %v", rep.PredictedNs, rep.ActualNs)
+	}
+}
+
+// Invariant: a one-cluster clustering has efficiency (n-1)/n and its
+// prediction is rep cost times n.
+func TestOneClusterArithmetic(t *testing.T) {
+	w := tracetest.Tiny()
+	f := &w.Frames[0]
+	n := len(f.Draws)
+	cf := subset.ClusteredFrame{
+		Result:   cluster.Result{Assign: make([]int, n), K: 1, Centroids: linalg.NewMatrix(1, 1)},
+		RepDraws: []int{1},
+		Weights:  []float64{float64(n)},
+	}
+	rep := EvaluateFrame(vertOracle{}, f, &cf, DefaultOutlierThreshold)
+	wantPred := float64(f.Draws[1].VertexCount * n)
+	if rep.PredictedNs != wantPred {
+		t.Errorf("predicted = %v, want %v", rep.PredictedNs, wantPred)
+	}
+	if want := 1 - 1.0/float64(n); rep.Efficiency != want {
+		t.Errorf("efficiency = %v, want %v", rep.Efficiency, want)
+	}
+}

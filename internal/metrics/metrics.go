@@ -1,0 +1,157 @@
+// Package metrics evaluates subsetting quality with the paper's
+// measures: per-frame performance prediction error, clustering
+// efficiency, cluster outlier rate, subset size ratio, and the
+// correlation of scaling curves between subset and parent.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dcmath"
+	"repro/internal/subset"
+	"repro/internal/trace"
+)
+
+// DefaultOutlierThreshold is the paper's outlier definition: a cluster
+// whose intra-cluster prediction error exceeds 20%.
+const DefaultOutlierThreshold = 0.20
+
+// FrameReport is the evaluation of one clustered frame.
+type FrameReport struct {
+	FrameIndex  int
+	Draws       int
+	Clusters    int
+	ActualNs    float64
+	PredictedNs float64
+	// RelError is |predicted - actual| / actual — the paper's
+	// "performance prediction error per frame".
+	RelError float64
+	// Efficiency is 1 - clusters/draws — the paper's "clustering
+	// efficiency".
+	Efficiency float64
+	// ClusterErrors holds, per cluster, the intra-cluster prediction
+	// error: |repCost*size - memberCostSum| / memberCostSum.
+	ClusterErrors []float64
+	// Outliers counts clusters with error above the threshold used.
+	Outliers int
+}
+
+// EvaluateFrame prices every draw once and derives all per-frame
+// quality measures from the clustering.
+func EvaluateFrame(o subset.CostOracle, f *trace.Frame, cf *subset.ClusteredFrame, outlierThresh float64) FrameReport {
+	costs := make([]float64, len(f.Draws))
+	for i := range f.Draws {
+		costs[i] = o.DrawNs(&f.Draws[i])
+	}
+	rep := FrameReport{
+		FrameIndex: cf.FrameIndex,
+		Draws:      len(f.Draws),
+		Clusters:   cf.Result.K,
+		Efficiency: cf.Result.Efficiency(),
+	}
+	clusterActual := make([]float64, cf.Result.K)
+	for i, c := range cf.Result.Assign {
+		rep.ActualNs += costs[i]
+		clusterActual[c] += costs[i]
+	}
+	rep.ClusterErrors = make([]float64, cf.Result.K)
+	for c, di := range cf.RepDraws {
+		pred := costs[di] * cf.Weights[c]
+		rep.PredictedNs += pred
+		if clusterActual[c] > 0 {
+			e := math.Abs(pred-clusterActual[c]) / clusterActual[c]
+			rep.ClusterErrors[c] = e
+			if e > outlierThresh {
+				rep.Outliers++
+			}
+		}
+	}
+	if rep.ActualNs > 0 {
+		rep.RelError = math.Abs(rep.PredictedNs-rep.ActualNs) / rep.ActualNs
+	}
+	return rep
+}
+
+// WorkloadReport aggregates frame reports over a workload — one row of
+// the paper's clustering-accuracy table.
+type WorkloadReport struct {
+	Name   string
+	Frames []FrameReport
+
+	// MeanError is the average per-frame prediction error.
+	MeanError float64
+	// MaxError is the worst per-frame prediction error.
+	MaxError float64
+	// MeanEfficiency is the average clustering efficiency.
+	MeanEfficiency float64
+	// OutlierRate is outlier clusters / total clusters.
+	OutlierRate float64
+
+	TotalDraws    int
+	TotalClusters int
+	TotalOutliers int
+}
+
+// EvaluateWorkload clusters and evaluates every frame.
+func EvaluateWorkload(o subset.CostOracle, w *trace.Workload, fc *subset.FrameClusterer, outlierThresh float64) (WorkloadReport, error) {
+	rep := WorkloadReport{Name: w.Name}
+	var errSum, effSum float64
+	for fi := range w.Frames {
+		cf, err := fc.ClusterFrame(&w.Frames[fi], fi)
+		if err != nil {
+			return WorkloadReport{}, fmt.Errorf("metrics: frame %d: %w", fi, err)
+		}
+		fr := EvaluateFrame(o, &w.Frames[fi], &cf, outlierThresh)
+		rep.Frames = append(rep.Frames, fr)
+		errSum += fr.RelError
+		effSum += fr.Efficiency
+		if fr.RelError > rep.MaxError {
+			rep.MaxError = fr.RelError
+		}
+		rep.TotalDraws += fr.Draws
+		rep.TotalClusters += fr.Clusters
+		rep.TotalOutliers += fr.Outliers
+	}
+	n := float64(len(rep.Frames))
+	rep.MeanError = errSum / n
+	rep.MeanEfficiency = effSum / n
+	if rep.TotalClusters > 0 {
+		rep.OutlierRate = float64(rep.TotalOutliers) / float64(rep.TotalClusters)
+	}
+	return rep, nil
+}
+
+// Speedups converts a series of total runtimes into speedups relative
+// to the runtime at refIdx. It panics on an out-of-range refIdx —
+// experiment wiring, not runtime input.
+func Speedups(totalsNs []float64, refIdx int) []float64 {
+	if refIdx < 0 || refIdx >= len(totalsNs) {
+		panic(fmt.Sprintf("metrics: refIdx %d of %d", refIdx, len(totalsNs)))
+	}
+	ref := totalsNs[refIdx]
+	out := make([]float64, len(totalsNs))
+	for i, t := range totalsNs {
+		if t > 0 {
+			out[i] = ref / t
+		}
+	}
+	return out
+}
+
+// CurveCorrelation is the Pearson correlation of two scaling curves —
+// the paper's subset-validation statistic (reported as >= 99.7%).
+func CurveCorrelation(a, b []float64) float64 { return dcmath.Pearson(a, b) }
+
+// SampleError evaluates a generic frame sample (baseline samplers in
+// E9) the same way EvaluateFrame scores clustering.
+func SampleError(o subset.CostOracle, f *trace.Frame, fs *subset.FrameSample) float64 {
+	var actual float64
+	for i := range f.Draws {
+		actual += o.DrawNs(&f.Draws[i])
+	}
+	if actual == 0 {
+		return 0
+	}
+	return math.Abs(fs.PredictNs(o, f)-actual) / actual
+}

@@ -1,0 +1,233 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dcmath"
+	"repro/internal/gpu"
+	"repro/internal/linalg"
+	"repro/internal/subset"
+	"repro/internal/synth"
+	"repro/internal/trace"
+	"repro/internal/tracetest"
+)
+
+// vertOracle prices draws purely by vertex count — transparent for
+// hand-checked arithmetic.
+type vertOracle struct{}
+
+func (vertOracle) DrawNs(d *trace.DrawCall) float64 { return float64(d.VertexCount) }
+
+// handClustered builds a ClusteredFrame for the Tiny fixture frame 0:
+// cluster 0 = draws {0}, cluster 1 = draws {1}, cluster 2 = draws {2,3}.
+func handClustered() subset.ClusteredFrame {
+	res := cluster.Result{
+		Assign:    []int{0, 1, 2, 2},
+		K:         3,
+		Centroids: linalg.NewMatrix(3, 1),
+	}
+	return subset.ClusteredFrame{
+		FrameIndex: 0,
+		Result:     res,
+		RepDraws:   []int{0, 1, 2},
+		Weights:    []float64{1, 1, 2},
+	}
+}
+
+func TestEvaluateFrameArithmetic(t *testing.T) {
+	w := tracetest.Tiny()
+	f := &w.Frames[0] // vertex counts 3000, 1200, 300, 60
+	cf := handClustered()
+	rep := EvaluateFrame(vertOracle{}, f, &cf, DefaultOutlierThreshold)
+	if rep.Draws != 4 || rep.Clusters != 3 {
+		t.Fatalf("shape: %d draws, %d clusters", rep.Draws, rep.Clusters)
+	}
+	if rep.ActualNs != 3000+1200+300+60 {
+		t.Errorf("actual = %v", rep.ActualNs)
+	}
+	// Predicted: 3000*1 + 1200*1 + 300*2 = 4800.
+	if rep.PredictedNs != 4800 {
+		t.Errorf("predicted = %v", rep.PredictedNs)
+	}
+	wantErr := math.Abs(4800-4560) / 4560.0
+	if math.Abs(rep.RelError-wantErr) > 1e-12 {
+		t.Errorf("rel error = %v, want %v", rep.RelError, wantErr)
+	}
+	if got := rep.Efficiency; got != 0.25 {
+		t.Errorf("efficiency = %v, want 0.25", got)
+	}
+	// Cluster 2: actual 360, predicted 600 -> error 0.667 -> outlier.
+	if math.Abs(rep.ClusterErrors[2]-240.0/360) > 1e-12 {
+		t.Errorf("cluster 2 error = %v", rep.ClusterErrors[2])
+	}
+	if rep.Outliers != 1 {
+		t.Errorf("outliers = %d, want 1", rep.Outliers)
+	}
+	// Singleton clusters predict exactly.
+	if rep.ClusterErrors[0] != 0 || rep.ClusterErrors[1] != 0 {
+		t.Error("singleton clusters should have zero error")
+	}
+}
+
+func TestEvaluateFrameOutlierThreshold(t *testing.T) {
+	w := tracetest.Tiny()
+	f := &w.Frames[0]
+	cf := handClustered()
+	strict := EvaluateFrame(vertOracle{}, f, &cf, 0.0001)
+	if strict.Outliers != 1 { // only the non-singleton cluster has error
+		t.Errorf("strict outliers = %d", strict.Outliers)
+	}
+	loose := EvaluateFrame(vertOracle{}, f, &cf, 10)
+	if loose.Outliers != 0 {
+		t.Errorf("loose outliers = %d", loose.Outliers)
+	}
+}
+
+func TestEvaluateWorkload(t *testing.T) {
+	p := synth.Bioshock1Profile()
+	p.Name = "metricstest"
+	p.Frames = 16
+	p.MaterialsPerScene = 40
+	p.SharedMaterials = 8
+	p.Textures = 80
+	p.VSPool = 6
+	p.PSPool = 16
+	w, err := synth.Generate(p, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := gpu.NewSimulator(gpu.BaseConfig(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := subset.NewFrameClusterer(w, subset.DefaultMethod())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := EvaluateWorkload(sim, w, fc, DefaultOutlierThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Frames) != 16 {
+		t.Fatalf("frames = %d", len(rep.Frames))
+	}
+	if rep.MeanError < 0 || rep.MeanError > 0.2 {
+		t.Errorf("mean error = %v", rep.MeanError)
+	}
+	if rep.MaxError < rep.MeanError {
+		t.Errorf("max %v < mean %v", rep.MaxError, rep.MeanError)
+	}
+	if rep.MeanEfficiency <= 0.2 || rep.MeanEfficiency >= 0.95 {
+		t.Errorf("mean efficiency = %v", rep.MeanEfficiency)
+	}
+	if rep.OutlierRate < 0 || rep.OutlierRate > 0.3 {
+		t.Errorf("outlier rate = %v", rep.OutlierRate)
+	}
+	if rep.TotalDraws != w.NumDraws() {
+		t.Errorf("total draws %d != %d", rep.TotalDraws, w.NumDraws())
+	}
+	// Aggregates must reconcile with per-frame reports.
+	var errSum float64
+	clusters, outliers := 0, 0
+	for _, fr := range rep.Frames {
+		errSum += fr.RelError
+		clusters += fr.Clusters
+		outliers += fr.Outliers
+	}
+	if math.Abs(rep.MeanError-errSum/16) > 1e-12 {
+		t.Error("mean error does not match frames")
+	}
+	if clusters != rep.TotalClusters || outliers != rep.TotalOutliers {
+		t.Error("totals do not match frames")
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	s := Speedups([]float64{100, 50, 200}, 0)
+	want := []float64{1, 2, 0.5}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("speedups = %v", s)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad refIdx should panic")
+		}
+	}()
+	Speedups([]float64{1}, 5)
+}
+
+func TestCurveCorrelation(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{2, 4, 6, 8}
+	if got := CurveCorrelation(a, b); math.Abs(got-1) > 1e-12 {
+		t.Errorf("correlation = %v", got)
+	}
+}
+
+func TestSampleError(t *testing.T) {
+	w := tracetest.Tiny()
+	f := &w.Frames[0]
+	// Full sample is exact.
+	fs, err := subset.UniformSample(f, len(f.Draws))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := SampleError(vertOracle{}, f, &fs); got > 1e-12 {
+		t.Errorf("full sample error = %v", got)
+	}
+	// First-1 sample: predicts 3000*4 = 12000 vs 4560.
+	f1, _ := subset.FirstNSample(f, 1)
+	want := math.Abs(12000-4560) / 4560.0
+	if got := SampleError(vertOracle{}, f, &f1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("first-1 error = %v, want %v", got, want)
+	}
+}
+
+func TestClusteringBeatsRandomAtEqualBudget(t *testing.T) {
+	// The justification for the whole method (E9): at the same number
+	// of simulated draws, clustering predicts frame cost better than
+	// random sampling.
+	p := synth.Bioshock1Profile()
+	p.Name = "budget"
+	p.Frames = 8
+	p.MaterialsPerScene = 50
+	p.SharedMaterials = 8
+	p.Textures = 80
+	p.VSPool = 6
+	p.PSPool = 16
+	w, err := synth.Generate(p, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, _ := gpu.NewSimulator(gpu.BaseConfig(), w)
+	fc, _ := subset.NewFrameClusterer(w, subset.DefaultMethod())
+	rng := dcmath.NewRNG(17)
+	var clustErr, randErr []float64
+	for fi := range w.Frames {
+		f := &w.Frames[fi]
+		cf, err := fc.ClusterFrame(f, fi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs := cf.Sample()
+		clustErr = append(clustErr, SampleError(sim, f, &cs))
+		// Average several random draws at the same budget.
+		var rs []float64
+		for rep := 0; rep < 5; rep++ {
+			r, err := subset.RandomSample(f, cf.Result.K, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rs = append(rs, SampleError(sim, f, &r))
+		}
+		randErr = append(randErr, dcmath.Mean(rs))
+	}
+	if dcmath.Mean(clustErr) >= dcmath.Mean(randErr) {
+		t.Errorf("clustering error %v >= random %v at equal budget",
+			dcmath.Mean(clustErr), dcmath.Mean(randErr))
+	}
+}

@@ -1,0 +1,28 @@
+package phase_test
+
+import (
+	"fmt"
+
+	"repro/internal/phase"
+	"repro/internal/synth"
+)
+
+// Detect finds the repeating phase structure of a capture from
+// shader-vector equality over fixed frame intervals.
+func ExampleDetect() {
+	p := synth.Bioshock1Profile()
+	p.Frames = 64 // one script iteration: scenes 0,1,0,2,1,3
+	w, err := synth.Generate(p, 42)
+	if err != nil {
+		panic(err)
+	}
+	det, err := phase.Detect(w, phase.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("phases:", det.NumPhases)
+	fmt.Println("timeline:", det.Timeline())
+	// Output:
+	// phases: 4
+	// timeline: AAABBAAACCCCBBDD
+}

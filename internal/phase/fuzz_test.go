@@ -1,0 +1,32 @@
+package phase
+
+import (
+	"testing"
+
+	"repro/internal/shader"
+)
+
+// FuzzSignature ensures signature construction never panics and is a
+// pure function of the share multiset for arbitrary inputs, including
+// degenerate shares (negative, zero, huge).
+func FuzzSignature(f *testing.F) {
+	f.Add(uint32(1), 0.5, uint32(2), 0.5, true, 0.01)
+	f.Add(uint32(0), -1.0, uint32(9), 1e18, false, 0.0)
+	f.Add(uint32(7), 0.0, uint32(7), 0.3, true, 0.99)
+
+	f.Fuzz(func(t *testing.T, idA uint32, shareA float64, idB uint32, shareB float64, quantize bool, minShare float64) {
+		if minShare < 0 || minShare >= 1 {
+			minShare = 0
+		}
+		o := Options{IntervalFrames: 4, MinShare: minShare, QuantizeWeights: quantize, LevelsPerOctave: 1}
+		v := Vector{Shares: map[shader.ID]float64{
+			shader.ID(idA): shareA,
+			shader.ID(idB): shareB,
+		}}
+		sig1 := v.Signature(o)
+		sig2 := v.Signature(o)
+		if sig1 != sig2 {
+			t.Errorf("signature not deterministic: %q vs %q", sig1, sig2)
+		}
+	})
+}

@@ -1,0 +1,313 @@
+package phase
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/shader"
+	"repro/internal/synth"
+	"repro/internal/trace"
+	"repro/internal/tracetest"
+)
+
+func smallGame(t *testing.T) *trace.Workload {
+	t.Helper()
+	p := synth.Bioshock1Profile()
+	p.Name = "phasetest"
+	p.Frames = 132 // two script iterations
+	p.MaterialsPerScene = 60
+	p.SharedMaterials = 10
+	p.Textures = 120
+	p.VSPool = 8
+	p.PSPool = 24
+	w, err := synth.Generate(p, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestIntervalVectorNormalized(t *testing.T) {
+	w := tracetest.Tiny()
+	v, err := IntervalVector(w, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, s := range v.Shares {
+		if s < 0 {
+			t.Fatal("negative share")
+		}
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("shares sum to %v", sum)
+	}
+}
+
+func TestIntervalVectorBounds(t *testing.T) {
+	w := tracetest.Tiny()
+	if _, err := IntervalVector(w, -1, 2); err == nil {
+		t.Error("negative start accepted")
+	}
+	if _, err := IntervalVector(w, 0, 99); err == nil {
+		t.Error("end past workload accepted")
+	}
+	if _, err := IntervalVector(w, 2, 2); err == nil {
+		t.Error("empty interval accepted")
+	}
+}
+
+func TestSignatureStableUnderSmallJitter(t *testing.T) {
+	// Two different frames of the same fixture scene must produce equal
+	// signatures: jitter is absorbed by quantization.
+	w := tracetest.Tiny()
+	o := DefaultOptions()
+	v1, _ := IntervalVector(w, 0, 1)
+	v2, _ := IntervalVector(w, 1, 2)
+	if v1.Signature(o) != v2.Signature(o) {
+		t.Error("same-scene frames produced different signatures")
+	}
+}
+
+func TestSignatureMinShare(t *testing.T) {
+	v := Vector{Shares: map[shader.ID]float64{1: 0.995, 2: 0.005}}
+	o := DefaultOptions()
+	o.MinShare = 0.01
+	withNoise := v.Signature(o)
+	vClean := Vector{Shares: map[shader.ID]float64{1: 0.995}}
+	if withNoise != vClean.Signature(o) {
+		t.Error("sub-threshold shader changed signature")
+	}
+	o.MinShare = 0.001
+	if v.Signature(o) == vClean.Signature(o) {
+		t.Error("above-threshold shader ignored")
+	}
+}
+
+func TestSignatureSetOnlyMode(t *testing.T) {
+	a := Vector{Shares: map[shader.ID]float64{1: 0.9, 2: 0.1}}
+	b := Vector{Shares: map[shader.ID]float64{1: 0.5, 2: 0.5}}
+	o := DefaultOptions()
+	o.QuantizeWeights = false
+	if a.Signature(o) != b.Signature(o) {
+		t.Error("set-only signatures should ignore weights")
+	}
+	o.QuantizeWeights = true
+	if a.Signature(o) == b.Signature(o) {
+		t.Error("weighted signatures should distinguish 90/10 from 50/50")
+	}
+}
+
+func TestCosine(t *testing.T) {
+	a := Vector{Shares: map[shader.ID]float64{1: 1}}
+	b := Vector{Shares: map[shader.ID]float64{2: 1}}
+	if got := Cosine(a, b); got != 0 {
+		t.Errorf("disjoint cosine = %v", got)
+	}
+	if got := Cosine(a, a); math.Abs(got-1) > 1e-12 {
+		t.Errorf("self cosine = %v", got)
+	}
+	if got := Cosine(a, Vector{}); got != 0 {
+		t.Errorf("empty cosine = %v", got)
+	}
+}
+
+func TestDetectFindsPhases(t *testing.T) {
+	w := smallGame(t)
+	det, err := Detect(w, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nScenes := 4
+	if det.NumPhases < nScenes {
+		t.Errorf("phases = %d, want >= %d scenes", det.NumPhases, nScenes)
+	}
+	// Phases must be far fewer than intervals: repetition detected.
+	if det.NumPhases >= len(det.Intervals) {
+		t.Errorf("phases %d >= intervals %d; no repetition found", det.NumPhases, len(det.Intervals))
+	}
+	// Purity: an interval fully inside one scene must never share a
+	// phase with an interval fully inside a different scene.
+	sceneOf := func(iv Interval) string {
+		s := w.Frames[iv.Start].Scene
+		for f := iv.Start; f < iv.End; f++ {
+			if w.Frames[f].Scene != s {
+				return "" // straddles a boundary
+			}
+		}
+		return s
+	}
+	phaseScene := map[int]string{}
+	for _, iv := range det.Intervals {
+		s := sceneOf(iv)
+		if s == "" {
+			continue
+		}
+		if prev, ok := phaseScene[iv.Phase]; ok && prev != s {
+			t.Fatalf("phase %d spans scenes %q and %q", iv.Phase, prev, s)
+		}
+		phaseScene[iv.Phase] = s
+	}
+}
+
+func TestDetectRepetitionAcrossScriptIterations(t *testing.T) {
+	// The script tiles twice in the test game; intervals aligned one
+	// script-length apart in the same scene should share phases, so the
+	// phase count must be far below interval count.
+	w := smallGame(t)
+	det, err := Detect(w, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.NumPhases > len(det.Intervals)/2 {
+		t.Errorf("phases %d > half the intervals %d: script repetition not detected",
+			det.NumPhases, len(det.Intervals))
+	}
+}
+
+func TestDetectRepresentatives(t *testing.T) {
+	w := smallGame(t)
+	det, _ := Detect(w, DefaultOptions())
+	if len(det.Representatives) != det.NumPhases {
+		t.Fatalf("representatives = %d, phases = %d", len(det.Representatives), det.NumPhases)
+	}
+	seen := map[int]bool{}
+	for p, ii := range det.Representatives {
+		iv := det.Intervals[ii]
+		if iv.Phase != p {
+			t.Errorf("representative of phase %d has phase %d", p, iv.Phase)
+		}
+		// Must be the first occurrence.
+		for _, other := range det.Intervals[:ii] {
+			if other.Phase == p {
+				t.Errorf("representative of phase %d is not its first interval", p)
+			}
+		}
+		if seen[ii] {
+			t.Error("interval represents two phases")
+		}
+		seen[ii] = true
+	}
+	frames := det.RepresentativeFrames()
+	if len(frames) == 0 || len(frames) >= w.NumFrames() {
+		t.Errorf("representative frames = %d of %d", len(frames), w.NumFrames())
+	}
+}
+
+func TestPhaseOfFrameAndCoverage(t *testing.T) {
+	w := smallGame(t)
+	det, _ := Detect(w, DefaultOptions())
+	per := det.PhaseOfFrame(w.NumFrames())
+	if len(per) != w.NumFrames() {
+		t.Fatal("wrong length")
+	}
+	for f, p := range per {
+		if p < 0 || p >= det.NumPhases {
+			t.Fatalf("frame %d phase %d out of range", f, p)
+		}
+	}
+	cov := det.Coverage()
+	total := 0
+	for _, c := range cov {
+		if c == 0 {
+			t.Error("phase with zero coverage")
+		}
+		total += c
+	}
+	if total != len(det.Intervals) {
+		t.Errorf("coverage sums to %d of %d intervals", total, len(det.Intervals))
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	w := smallGame(t)
+	det, _ := Detect(w, DefaultOptions())
+	tl := det.Timeline()
+	if len(tl) != len(det.Intervals) {
+		t.Fatalf("timeline length %d, intervals %d", len(tl), len(det.Intervals))
+	}
+	if !strings.ContainsRune(tl, 'A') {
+		t.Error("timeline missing first phase")
+	}
+}
+
+func TestDetectOptionValidation(t *testing.T) {
+	w := tracetest.Tiny()
+	bad := DefaultOptions()
+	bad.IntervalFrames = 0
+	if _, err := Detect(w, bad); err == nil {
+		t.Error("zero interval accepted")
+	}
+	bad = DefaultOptions()
+	bad.MinShare = 1.5
+	if _, err := Detect(w, bad); err == nil {
+		t.Error("bad min share accepted")
+	}
+	bad = DefaultOptions()
+	bad.QuantizeWeights = true
+	bad.LevelsPerOctave = 0
+	if _, err := Detect(w, bad); err == nil {
+		t.Error("zero levels accepted")
+	}
+}
+
+func TestDetectLastShortInterval(t *testing.T) {
+	w := tracetest.Tiny() // 3 frames
+	o := DefaultOptions()
+	o.IntervalFrames = 2
+	det, err := Detect(w, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det.Intervals) != 2 {
+		t.Fatalf("intervals = %d, want 2", len(det.Intervals))
+	}
+	last := det.Intervals[1]
+	if last.Start != 2 || last.End != 3 {
+		t.Errorf("last interval [%d, %d), want [2, 3)", last.Start, last.End)
+	}
+}
+
+func TestDetectCosineMatching(t *testing.T) {
+	w := smallGame(t)
+	// Exact equality baseline.
+	exact, err := Detect(w, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cosine matching at a high threshold should find the same phase
+	// structure on this clean workload.
+	o := DefaultOptions()
+	o.MatchCosine = 0.98
+	cos, err := Detect(w, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cosine works on weighted vectors (which jitter), set equality on
+	// presence sets (which don't), so counts differ slightly — but both
+	// must land in the same small-phase-count regime.
+	if cos.NumPhases < 2 || cos.NumPhases > 2*exact.NumPhases {
+		t.Errorf("cosine matching found %d phases, equality %d", cos.NumPhases, exact.NumPhases)
+	}
+	// A looser threshold can only merge more.
+	loose := DefaultOptions()
+	loose.MatchCosine = 0.5
+	lres, err := Detect(w, loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lres.NumPhases > cos.NumPhases {
+		t.Errorf("looser cosine produced more phases: %d > %d", lres.NumPhases, cos.NumPhases)
+	}
+	// Representatives still well-formed.
+	if len(cos.Representatives) != cos.NumPhases {
+		t.Error("representative bookkeeping broken in cosine mode")
+	}
+	bad := DefaultOptions()
+	bad.MatchCosine = 1.5
+	if _, err := Detect(w, bad); err == nil {
+		t.Error("cosine >= 1 accepted")
+	}
+}

@@ -1,0 +1,106 @@
+// Package report renders experiment results as aligned text tables or
+// CSV. It exists so every experiment emits through one code path and
+// machine-readable output is a flag away, instead of each experiment
+// hand-rolling fmt.Printf columns.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-oriented result table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	// Notes render after the table body.
+	Notes []string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+// It panics on column-count mismatch — table shape is wired by the
+// experiment code, not runtime input.
+func (t *Table) AddRow(cells ...interface{}) {
+	if len(cells) != len(t.Headers) {
+		panic(fmt.Sprintf("report: row has %d cells, table has %d columns", len(cells), len(t.Headers)))
+	}
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends a free-text note rendered after the table.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(out io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(out, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(out, strings.TrimRight(b.String(), " "))
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(out, "%s\n", n)
+	}
+}
+
+// WriteCSV writes the table (headers + rows) as CSV; notes are
+// omitted.
+func (t *Table) WriteCSV(out io.Writer) error {
+	w := csv.NewWriter(out)
+	if err := w.Write(t.Headers); err != nil {
+		return fmt.Errorf("report: writing CSV header: %w", err)
+	}
+	for i, row := range t.Rows {
+		if err := w.Write(row); err != nil {
+			return fmt.Errorf("report: writing CSV row %d: %w", i, err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return fmt.Errorf("report: flushing CSV: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := New("results", "workload", "err", "eff")
+	t.AddRow("bioshock1", 0.0084, "64%")
+	t.AddRow("bioshock2", 0.0082, "65%")
+	t.AddNote("paper: 1.0%%")
+	return t
+}
+
+func TestRenderAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	sample().Render(&buf)
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title + header + 2 rows... plus note = 5?
+		// title, header, 2 rows, 1 note
+		if len(lines) != 5 {
+			t.Fatalf("lines = %d:\n%s", len(lines), out)
+		}
+	}
+	if !strings.HasPrefix(lines[0], "results") {
+		t.Errorf("missing title: %q", lines[0])
+	}
+	if !strings.Contains(out, "workload") || !strings.Contains(out, "bioshock2") {
+		t.Errorf("content missing:\n%s", out)
+	}
+	// Columns align: "err" header starts at same offset as its values.
+	header := lines[1]
+	row := lines[2]
+	hIdx := strings.Index(header, "err")
+	if hIdx < 0 || len(row) <= hIdx {
+		t.Fatalf("alignment check impossible:\n%s", out)
+	}
+	if row[hIdx-1] != ' ' {
+		t.Errorf("column not aligned:\n%s", out)
+	}
+	if !strings.Contains(out, "paper:") {
+		t.Error("note missing")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("csv rows = %d", len(rows))
+	}
+	if rows[0][0] != "workload" || rows[1][0] != "bioshock1" {
+		t.Errorf("csv content wrong: %v", rows)
+	}
+	if rows[1][1] != "0.0084" {
+		t.Errorf("float formatting = %q", rows[1][1])
+	}
+}
+
+func TestAddRowPanicsOnShapeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New("t", "a", "b").AddRow("only one")
+}
+
+func TestUntitledTable(t *testing.T) {
+	tab := New("", "x")
+	tab.AddRow(1)
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	if strings.HasPrefix(buf.String(), "\n") {
+		t.Error("untitled table should not start with blank line")
+	}
+}

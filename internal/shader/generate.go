@@ -1,0 +1,103 @@
+package shader
+
+import (
+	"fmt"
+
+	"repro/internal/dcmath"
+)
+
+// GenParams controls the deterministic shader generator. The defaults
+// (see DefaultVertexParams / DefaultPixelParams) are tuned to the
+// instruction-mix ranges reported for D3D10-era game shaders: vertex
+// shaders are ALU/interp heavy, pixel shaders carry most texture work.
+type GenParams struct {
+	Stage Stage
+
+	// MinInstrs/MaxInstrs bound the body length (uniform draw).
+	MinInstrs int
+	MaxInstrs int
+
+	// Category weights; normalized internally. TexSlots bounds the
+	// texture slots sampled instructions choose from.
+	ALUWeight    float64
+	SFUWeight    float64
+	TexWeight    float64
+	InterpWeight float64
+	MemWeight    float64
+	CFWeight     float64
+	TexSlots     int
+}
+
+// DefaultVertexParams returns generator parameters for a typical
+// vertex shader: transform-heavy ALU with attribute loads, no texture.
+func DefaultVertexParams() GenParams {
+	return GenParams{
+		Stage:     StageVertex,
+		MinInstrs: 16, MaxInstrs: 96,
+		ALUWeight: 0.62, SFUWeight: 0.06, TexWeight: 0,
+		InterpWeight: 0.22, MemWeight: 0.06, CFWeight: 0.04,
+		TexSlots: 0,
+	}
+}
+
+// DefaultPixelParams returns generator parameters for a typical pixel
+// shader: lighting ALU plus several texture samples.
+func DefaultPixelParams() GenParams {
+	return GenParams{
+		Stage:     StagePixel,
+		MinInstrs: 12, MaxInstrs: 160,
+		ALUWeight: 0.62, SFUWeight: 0.05, TexWeight: 0.06,
+		InterpWeight: 0.17, MemWeight: 0.04, CFWeight: 0.06,
+		TexSlots: 8,
+	}
+}
+
+func (g GenParams) validate() error {
+	if g.MinInstrs <= 0 || g.MaxInstrs < g.MinInstrs {
+		return fmt.Errorf("shader: bad instruction bounds [%d, %d]", g.MinInstrs, g.MaxInstrs)
+	}
+	total := g.ALUWeight + g.SFUWeight + g.TexWeight + g.InterpWeight + g.MemWeight + g.CFWeight
+	if total <= 0 {
+		return fmt.Errorf("shader: all category weights zero")
+	}
+	if g.TexWeight > 0 && g.TexSlots <= 0 {
+		return fmt.Errorf("shader: TexWeight > 0 requires TexSlots > 0")
+	}
+	return nil
+}
+
+// Generate produces a shader program body from the parameters using
+// rng, registers it under name, and returns it. The generation is
+// deterministic given the rng state.
+func Generate(reg *Registry, rng *dcmath.RNG, name string, g GenParams) (*Program, error) {
+	if err := g.validate(); err != nil {
+		return nil, err
+	}
+	n := rng.IntRange(g.MinInstrs, g.MaxInstrs)
+	weights := []float64{g.ALUWeight, g.SFUWeight, g.TexWeight, g.InterpWeight, g.MemWeight, g.CFWeight}
+	ops := []Op{OpALU, OpSFU, OpTex, OpInterp, OpMem, OpCF}
+	cum := make([]float64, len(weights))
+	var total float64
+	for i, w := range weights {
+		total += w
+		cum[i] = total
+	}
+	body := make([]Instr, 0, n)
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * total
+		k := 0
+		for k < len(cum)-1 && x >= cum[k] {
+			k++
+		}
+		in := Instr{Op: ops[k]}
+		if in.Op == OpTex {
+			in.Slot = uint8(rng.Intn(g.TexSlots))
+		}
+		body = append(body, in)
+	}
+	p := &Program{Stage: g.Stage, Name: name, Body: body}
+	if _, err := reg.Register(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

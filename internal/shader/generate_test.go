@@ -1,0 +1,129 @@
+package shader
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dcmath"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	gen := func() *Program {
+		r := NewRegistry()
+		rng := dcmath.NewRNG(77)
+		p, err := Generate(r, rng, "ps", DefaultPixelParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a, b := gen(), gen()
+	if len(a.Body) != len(b.Body) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Body), len(b.Body))
+	}
+	for i := range a.Body {
+		if a.Body[i] != b.Body[i] {
+			t.Fatalf("instruction %d differs", i)
+		}
+	}
+}
+
+func TestGenerateRespectsBounds(t *testing.T) {
+	r := NewRegistry()
+	rng := dcmath.NewRNG(5)
+	g := DefaultVertexParams()
+	for i := 0; i < 50; i++ {
+		p, err := Generate(r, rng, "vs", g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p.Body) < g.MinInstrs || len(p.Body) > g.MaxInstrs {
+			t.Fatalf("body length %d outside [%d, %d]", len(p.Body), g.MinInstrs, g.MaxInstrs)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("generated program invalid: %v", err)
+		}
+	}
+}
+
+func TestGenerateMixMatchesWeights(t *testing.T) {
+	r := NewRegistry()
+	rng := dcmath.NewRNG(6)
+	g := DefaultPixelParams()
+	var agg Mix
+	for i := 0; i < 200; i++ {
+		p, err := Generate(r, rng, "ps", g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := p.Analyze()
+		for k := range agg.Counts {
+			agg.Counts[k] += m.Counts[k]
+		}
+		agg.Total += m.Total
+	}
+	totalW := g.ALUWeight + g.SFUWeight + g.TexWeight + g.InterpWeight + g.MemWeight + g.CFWeight
+	checks := []struct {
+		op Op
+		w  float64
+	}{{OpALU, g.ALUWeight}, {OpTex, g.TexWeight}, {OpInterp, g.InterpWeight}}
+	for _, c := range checks {
+		want := c.w / totalW
+		got := agg.Fraction(c.op)
+		if math.Abs(got-want) > 0.03 {
+			t.Errorf("%v fraction = %v, want ~%v", c.op, got, want)
+		}
+	}
+}
+
+func TestGenerateVertexHasNoTex(t *testing.T) {
+	r := NewRegistry()
+	rng := dcmath.NewRNG(7)
+	p, err := Generate(r, rng, "vs", DefaultVertexParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Analyze().Count(OpTex) != 0 {
+		t.Error("default vertex shader sampled textures")
+	}
+	if p.Stage != StageVertex {
+		t.Error("stage not propagated")
+	}
+}
+
+func TestGenerateTexSlotsInRange(t *testing.T) {
+	r := NewRegistry()
+	rng := dcmath.NewRNG(8)
+	g := DefaultPixelParams()
+	g.TexSlots = 4
+	for i := 0; i < 20; i++ {
+		p, err := Generate(r, rng, "ps", g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, slot := range p.TextureSlots() {
+			if slot < 0 || slot >= 4 {
+				t.Fatalf("slot %d out of range", slot)
+			}
+		}
+	}
+}
+
+func TestGenerateParamErrors(t *testing.T) {
+	r := NewRegistry()
+	rng := dcmath.NewRNG(9)
+	cases := []GenParams{
+		{Stage: StagePixel, MinInstrs: 0, MaxInstrs: 10, ALUWeight: 1},
+		{Stage: StagePixel, MinInstrs: 10, MaxInstrs: 5, ALUWeight: 1},
+		{Stage: StagePixel, MinInstrs: 1, MaxInstrs: 2},                            // all weights zero
+		{Stage: StagePixel, MinInstrs: 1, MaxInstrs: 2, TexWeight: 1, TexSlots: 0}, // tex without slots
+	}
+	for i, g := range cases {
+		if _, err := Generate(r, rng, "bad", g); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+	if r.Len() != 0 {
+		t.Error("failed generation registered programs")
+	}
+}

@@ -1,0 +1,99 @@
+package shader
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Registry owns the shader programs of one workload and assigns stable
+// ids. A Registry is not safe for concurrent mutation; workload
+// construction is single-threaded by design.
+type Registry struct {
+	byID map[ID]*Program
+	next ID
+}
+
+// NewRegistry returns an empty registry. The first registered program
+// receives id 1 (id 0 is reserved).
+func NewRegistry() *Registry {
+	return &Registry{byID: make(map[ID]*Program), next: 1}
+}
+
+// Register validates p (ignoring its ID field), assigns it the next
+// free id and stores it. The assigned id is returned and also written
+// into p.ID.
+func (r *Registry) Register(p *Program) (ID, error) {
+	p.ID = r.next
+	if err := p.Validate(); err != nil {
+		p.ID = InvalidID
+		return InvalidID, err
+	}
+	r.byID[p.ID] = p
+	r.next++
+	return p.ID, nil
+}
+
+// Lookup returns the program with the given id, or an error if it is
+// not registered.
+func (r *Registry) Lookup(id ID) (*Program, error) {
+	p, ok := r.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("shader: id %d not registered", id)
+	}
+	return p, nil
+}
+
+// MustLookup is Lookup for ids the caller guarantees exist (e.g. ids
+// recorded in a validated workload). It panics on a missing id because
+// that indicates a corrupted workload, not a recoverable condition.
+func (r *Registry) MustLookup(id ID) *Program {
+	p, err := r.Lookup(id)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Len returns the number of registered programs.
+func (r *Registry) Len() int { return len(r.byID) }
+
+// IDs returns all registered ids in ascending order.
+func (r *Registry) IDs() []ID {
+	ids := make([]ID, 0, len(r.byID))
+	for id := range r.byID {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// RestoreRegistry rebuilds a registry from programs that already carry
+// ids (e.g. decoded from a serialized workload). Ids must be unique and
+// non-zero; the next assigned id continues after the largest restored
+// one.
+func RestoreRegistry(progs []*Program) (*Registry, error) {
+	r := NewRegistry()
+	for _, p := range progs {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := r.byID[p.ID]; dup {
+			return nil, fmt.Errorf("shader: duplicate id %d in restore", p.ID)
+		}
+		r.byID[p.ID] = p
+		if p.ID >= r.next {
+			r.next = p.ID + 1
+		}
+	}
+	return r, nil
+}
+
+// Programs returns all registered programs in id order.
+func (r *Registry) Programs() []*Program {
+	ids := r.IDs()
+	ps := make([]*Program, len(ids))
+	for i, id := range ids {
+		ps[i] = r.byID[id]
+	}
+	return ps
+}

@@ -1,0 +1,86 @@
+package shader
+
+import "testing"
+
+func TestRegistryAssignsSequentialIDs(t *testing.T) {
+	r := NewRegistry()
+	for i := 1; i <= 3; i++ {
+		p := progWith(StageVertex, OpALU)
+		id, err := r.Register(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != ID(i) || p.ID != ID(i) {
+			t.Errorf("id = %d, want %d", id, i)
+		}
+	}
+	if r.Len() != 3 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestRegistryRejectsInvalid(t *testing.T) {
+	r := NewRegistry()
+	empty := &Program{Stage: StageVertex, Name: "e"}
+	if _, err := r.Register(empty); err == nil {
+		t.Fatal("empty program registered")
+	}
+	if r.Len() != 0 {
+		t.Error("failed registration left state behind")
+	}
+	// A failed registration must not consume an id.
+	ok := progWith(StageVertex, OpALU)
+	id, err := r.Register(ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 {
+		t.Errorf("first successful id = %d, want 1", id)
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	r := NewRegistry()
+	p := progWith(StagePixel, OpALU, OpTex)
+	id, _ := r.Register(p)
+	got, err := r.Lookup(id)
+	if err != nil || got != p {
+		t.Fatalf("Lookup(%d) = %v, %v", id, got, err)
+	}
+	if _, err := r.Lookup(99); err == nil {
+		t.Error("missing id lookup should error")
+	}
+	if got := r.MustLookup(id); got != p {
+		t.Error("MustLookup mismatch")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLookup missing id should panic")
+		}
+	}()
+	r.MustLookup(1234)
+}
+
+func TestRegistryIDsSorted(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 10; i++ {
+		if _, err := r.Register(progWith(StageVertex, OpALU)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := r.IDs()
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatalf("IDs not ascending: %v", ids)
+		}
+	}
+	ps := r.Programs()
+	if len(ps) != 10 {
+		t.Fatalf("Programs len = %d", len(ps))
+	}
+	for i, p := range ps {
+		if p.ID != ids[i] {
+			t.Error("Programs order mismatch")
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package shader models the shader programs bound by draw calls.
+//
+// The paper characterizes draw calls partly by the micro-architecture
+// independent properties of their shaders (instruction mix, texture
+// usage) and characterizes frame intervals by "shader vectors" — which
+// shader programs execute and how much work they do. This package
+// provides the program representation both of those analyses consume:
+// a small instruction IR, static-analysis summaries, a deterministic
+// generator used by the synthetic workload substrate, and a registry
+// that assigns stable identities.
+package shader
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Op is an instruction category. The cost model and the MAI features
+// only depend on the category mix, not on concrete opcodes, so the IR
+// stays at category granularity — the same abstraction level the
+// paper's "micro-architecture independent characteristics" live at.
+type Op uint8
+
+// Instruction categories.
+const (
+	OpALU    Op = iota // arithmetic: add/mul/mad/cmp on 32-bit lanes
+	OpSFU              // special function: rcp/rsq/sin/exp (slow path)
+	OpTex              // texture sample (feeds the texture cache)
+	OpInterp           // attribute interpolation load
+	OpMem              // raw buffer load/store
+	OpCF               // control flow: branch/loop overhead
+	opCount
+)
+
+// NumOpKinds is the number of distinct instruction categories.
+const NumOpKinds = int(opCount)
+
+// String returns the mnemonic for the category.
+func (o Op) String() string {
+	switch o {
+	case OpALU:
+		return "alu"
+	case OpSFU:
+		return "sfu"
+	case OpTex:
+		return "tex"
+	case OpInterp:
+		return "interp"
+	case OpMem:
+		return "mem"
+	case OpCF:
+		return "cf"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Stage identifies which pipeline stage a program executes in.
+type Stage uint8
+
+// Pipeline stages with programmable shaders.
+const (
+	StageVertex Stage = iota
+	StagePixel
+)
+
+// String returns the stage name.
+func (s Stage) String() string {
+	switch s {
+	case StageVertex:
+		return "vertex"
+	case StagePixel:
+		return "pixel"
+	default:
+		return fmt.Sprintf("stage(%d)", uint8(s))
+	}
+}
+
+// Instr is one instruction: a category plus the texture slot it
+// references when Op == OpTex (ignored otherwise).
+type Instr struct {
+	Op   Op
+	Slot uint8
+}
+
+// ID identifies a shader program. IDs are assigned by a Registry and
+// are stable within a workload; 0 is reserved for "no shader bound".
+type ID uint32
+
+// InvalidID is the reserved "no shader" id.
+const InvalidID ID = 0
+
+// Program is a shader program: an instruction body executed once per
+// vertex (vertex stage) or once per covered pixel (pixel stage).
+type Program struct {
+	ID    ID
+	Stage Stage
+	Name  string
+	Body  []Instr
+}
+
+// Mix is the static instruction-category census of a program body.
+type Mix struct {
+	Counts [NumOpKinds]int
+	Total  int
+}
+
+// Analyze computes the instruction mix of p.
+func (p *Program) Analyze() Mix {
+	var m Mix
+	for _, in := range p.Body {
+		m.Counts[in.Op]++
+		m.Total++
+	}
+	return m
+}
+
+// TextureSlots returns the distinct texture slots sampled by p, sorted.
+func (p *Program) TextureSlots() []int {
+	seen := map[int]bool{}
+	for _, in := range p.Body {
+		if in.Op == OpTex {
+			seen[int(in.Slot)] = true
+		}
+	}
+	slots := make([]int, 0, len(seen))
+	for s := range seen {
+		slots = append(slots, s)
+	}
+	sort.Ints(slots)
+	return slots
+}
+
+// Count returns how many instructions of category op the mix holds.
+func (m Mix) Count(op Op) int { return m.Counts[op] }
+
+// Fraction returns the share of category op in the mix (0 for an empty
+// body).
+func (m Mix) Fraction(op Op) float64 {
+	if m.Total == 0 {
+		return 0
+	}
+	return float64(m.Counts[op]) / float64(m.Total)
+}
+
+// TexRatio returns tex instructions per ALU instruction, the classic
+// shader-boundedness indicator. Returns 0 when there are no ALU ops.
+func (m Mix) TexRatio() float64 {
+	if m.Counts[OpALU] == 0 {
+		return 0
+	}
+	return float64(m.Counts[OpTex]) / float64(m.Counts[OpALU])
+}
+
+// Validate checks structural invariants of the program. A valid program
+// has a non-reserved id and a non-empty body.
+func (p *Program) Validate() error {
+	if p.ID == InvalidID {
+		return fmt.Errorf("shader: program %q has reserved id 0", p.Name)
+	}
+	if len(p.Body) == 0 {
+		return fmt.Errorf("shader: program %q (id %d) has empty body", p.Name, p.ID)
+	}
+	if p.Stage != StageVertex && p.Stage != StagePixel {
+		return fmt.Errorf("shader: program %q has unknown stage %d", p.Name, p.Stage)
+	}
+	for i, in := range p.Body {
+		if in.Op >= opCount {
+			return fmt.Errorf("shader: program %q instr %d has invalid op %d", p.Name, i, in.Op)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package shader
+
+import (
+	"strings"
+	"testing"
+)
+
+func progWith(stage Stage, ops ...Op) *Program {
+	body := make([]Instr, len(ops))
+	for i, o := range ops {
+		body[i] = Instr{Op: o}
+	}
+	return &Program{ID: 1, Stage: stage, Name: "t", Body: body}
+}
+
+func TestAnalyzeMix(t *testing.T) {
+	p := progWith(StagePixel, OpALU, OpALU, OpTex, OpSFU, OpCF)
+	m := p.Analyze()
+	if m.Total != 5 {
+		t.Fatalf("total = %d", m.Total)
+	}
+	if m.Count(OpALU) != 2 || m.Count(OpTex) != 1 || m.Count(OpSFU) != 1 || m.Count(OpCF) != 1 {
+		t.Errorf("counts = %v", m.Counts)
+	}
+	if got := m.Fraction(OpALU); got != 0.4 {
+		t.Errorf("ALU fraction = %v", got)
+	}
+	if got := m.TexRatio(); got != 0.5 {
+		t.Errorf("tex ratio = %v", got)
+	}
+}
+
+func TestMixEmptyAndNoALU(t *testing.T) {
+	var m Mix
+	if m.Fraction(OpALU) != 0 {
+		t.Error("empty mix fraction should be 0")
+	}
+	p := progWith(StagePixel, OpTex, OpTex)
+	if got := p.Analyze().TexRatio(); got != 0 {
+		t.Errorf("TexRatio without ALU = %v, want 0", got)
+	}
+}
+
+func TestTextureSlots(t *testing.T) {
+	p := &Program{ID: 1, Stage: StagePixel, Name: "t", Body: []Instr{
+		{Op: OpTex, Slot: 3},
+		{Op: OpALU},
+		{Op: OpTex, Slot: 1},
+		{Op: OpTex, Slot: 3}, // duplicate
+	}}
+	got := p.TextureSlots()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("TextureSlots = %v, want [1 3]", got)
+	}
+	if n := progWith(StageVertex, OpALU).TextureSlots(); len(n) != 0 {
+		t.Errorf("no-tex program slots = %v", n)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := progWith(StageVertex, OpALU)
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+	bad := progWith(StageVertex, OpALU)
+	bad.ID = InvalidID
+	if err := bad.Validate(); err == nil {
+		t.Error("reserved id accepted")
+	}
+	empty := &Program{ID: 2, Stage: StagePixel, Name: "e"}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty body accepted")
+	}
+	badOp := &Program{ID: 3, Stage: StagePixel, Name: "b", Body: []Instr{{Op: Op(200)}}}
+	if err := badOp.Validate(); err == nil {
+		t.Error("invalid op accepted")
+	}
+	badStage := &Program{ID: 4, Stage: Stage(9), Name: "s", Body: []Instr{{Op: OpALU}}}
+	if err := badStage.Validate(); err == nil {
+		t.Error("invalid stage accepted")
+	}
+}
+
+func TestOpStageStrings(t *testing.T) {
+	names := map[string]string{
+		OpALU.String():       "alu",
+		OpTex.String():       "tex",
+		OpSFU.String():       "sfu",
+		OpInterp.String():    "interp",
+		OpMem.String():       "mem",
+		OpCF.String():        "cf",
+		StageVertex.String(): "vertex",
+		StagePixel.String():  "pixel",
+	}
+	for got, want := range names {
+		if got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+	if !strings.Contains(Op(99).String(), "99") {
+		t.Error("unknown op String should embed the value")
+	}
+	if !strings.Contains(Stage(99).String(), "99") {
+		t.Error("unknown stage String should embed the value")
+	}
+}

@@ -1,0 +1,203 @@
+// Package stream is the one-pass, bounded-memory variant of workload
+// subsetting: frames are consumed as they arrive (e.g. from a
+// trace.StreamDecoder attached to a capture that never fits in
+// memory), the phase table is maintained online, and only the frames
+// that become phase representatives are ever clustered or retained.
+//
+// Memory high-water mark: one characterization interval of frames plus
+// the subset itself — independent of capture length. The result is
+// identical in structure to subset.Build's output; for a capture that
+// fits in memory the two agree exactly (see the equivalence test).
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/phase"
+	"repro/internal/subset"
+	"repro/internal/trace"
+)
+
+// Options mirrors subset.Options.
+type Options struct {
+	Method subset.Method
+	Phase  phase.Options
+}
+
+// DefaultOptions returns the batch pipeline's defaults.
+func DefaultOptions() Options {
+	o := subset.DefaultOptions()
+	return Options{Method: o.Method, Phase: o.Phase}
+}
+
+// Result is the streamed subset plus corpus accounting.
+type Result struct {
+	Frames       []subset.Frame
+	NumPhases    int
+	ParentFrames int
+	ParentDraws  int
+	Timeline     string
+}
+
+// SizeRatio returns subset draws / parent draws.
+func (r *Result) SizeRatio() float64 {
+	if r.ParentDraws == 0 {
+		return 0
+	}
+	n := 0
+	for i := range r.Frames {
+		n += len(r.Frames[i].Draws)
+	}
+	return float64(n) / float64(r.ParentDraws)
+}
+
+// EstimateParentNs reconstructs the parent total under the oracle.
+func (r *Result) EstimateParentNs(o subset.CostOracle) float64 {
+	var t float64
+	for i := range r.Frames {
+		t += r.Frames[i].PredictNs(o)
+	}
+	return t
+}
+
+// Subsetter consumes frames one at a time. Construct with New, feed
+// with Push, and call Finish exactly once.
+type Subsetter struct {
+	shell *trace.Workload
+	opt   Options
+	fc    *subset.FrameClusterer
+
+	buf        []trace.Frame // current interval, <= IntervalFrames
+	frameIdx   int           // frames consumed so far
+	draws      int
+	sigToPhase map[phase.Signature]int
+	phaseLen   []int  // parent frames per phase
+	timeline   []byte // one rune per interval
+	frames     []subset.Frame
+	finished   bool
+}
+
+// New builds a streaming subsetter bound to the stream's shell
+// workload (trace.StreamDecoder.Shell()).
+func New(shell *trace.Workload, opt Options) (*Subsetter, error) {
+	if err := opt.Phase.Validate(); err != nil {
+		return nil, err
+	}
+	fc, err := subset.NewShellFrameClusterer(shell, opt.Method)
+	if err != nil {
+		return nil, err
+	}
+	return &Subsetter{
+		shell:      shell,
+		opt:        opt,
+		fc:         fc,
+		sigToPhase: map[phase.Signature]int{},
+	}, nil
+}
+
+// Push consumes one frame.
+func (s *Subsetter) Push(f trace.Frame) error {
+	if s.finished {
+		return fmt.Errorf("stream: Push after Finish")
+	}
+	if len(f.Draws) == 0 {
+		return fmt.Errorf("stream: frame %d has no draws", s.frameIdx)
+	}
+	s.buf = append(s.buf, f)
+	s.frameIdx++
+	s.draws += len(f.Draws)
+	if len(s.buf) == s.opt.Phase.IntervalFrames {
+		return s.flush()
+	}
+	return nil
+}
+
+// flush characterizes the buffered interval and retains a
+// representative frame if its phase is new.
+func (s *Subsetter) flush() error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	v, err := phase.VectorOfFrames(s.shell, s.buf)
+	if err != nil {
+		return err
+	}
+	sig := v.Signature(s.opt.Phase)
+	id, seen := s.sigToPhase[sig]
+	if !seen {
+		id = len(s.sigToPhase)
+		s.sigToPhase[sig] = id
+		s.phaseLen = append(s.phaseLen, 0)
+
+		mid := len(s.buf) / 2
+		globalIdx := s.frameIdx - len(s.buf) + mid
+		cf, err := s.fc.ClusterFrame(&s.buf[mid], globalIdx)
+		if err != nil {
+			return err
+		}
+		sf := subset.Frame{
+			ParentFrame: globalIdx,
+			Phase:       id,
+			Draws:       make([]trace.DrawCall, len(cf.RepDraws)),
+			Weights:     cf.Weights,
+		}
+		for c, di := range cf.RepDraws {
+			sf.Draws[c] = s.buf[mid].Draws[di]
+		}
+		s.frames = append(s.frames, sf)
+	}
+	s.phaseLen[id] += len(s.buf)
+	const alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+	s.timeline = append(s.timeline, alphabet[id%len(alphabet)])
+	s.buf = s.buf[:0]
+	return nil
+}
+
+// Finish flushes any partial interval, assigns phase scales and
+// returns the subset. The subsetter is unusable afterwards.
+func (s *Subsetter) Finish() (*Result, error) {
+	if s.finished {
+		return nil, fmt.Errorf("stream: Finish called twice")
+	}
+	s.finished = true
+	if err := s.flush(); err != nil {
+		return nil, err
+	}
+	if s.frameIdx == 0 {
+		return nil, fmt.Errorf("stream: no frames pushed")
+	}
+	for i := range s.frames {
+		s.frames[i].PhaseScale = float64(s.phaseLen[s.frames[i].Phase])
+	}
+	return &Result{
+		Frames:       s.frames,
+		NumPhases:    len(s.sigToPhase),
+		ParentFrames: s.frameIdx,
+		ParentDraws:  s.draws,
+		Timeline:     string(s.timeline),
+	}, nil
+}
+
+// Run drains a stream decoder through a subsetter — the convenience
+// entry point for file-backed captures.
+func Run(dec *trace.StreamDecoder, opt Options) (*Result, error) {
+	s, err := New(dec.Shell(), opt)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		f, err := dec.NextFrame()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := s.Push(f); err != nil {
+			return nil, err
+		}
+	}
+	return s.Finish()
+}

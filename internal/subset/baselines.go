@@ -1,0 +1,86 @@
+package subset
+
+import (
+	"fmt"
+
+	"repro/internal/dcmath"
+	"repro/internal/trace"
+)
+
+// FrameSample is a generic weighted draw sample of one frame — the
+// form shared by the clustering representative set and the baseline
+// samplers it is compared against (E9).
+type FrameSample struct {
+	Draws   []int     // draw indices within the frame
+	Weights []float64 // per draw: how many parent draws it stands for
+}
+
+// PredictNs reconstructs the frame cost from the sample.
+func (fs *FrameSample) PredictNs(o CostOracle, f *trace.Frame) float64 {
+	var t float64
+	for i, di := range fs.Draws {
+		t += o.DrawNs(&f.Draws[di]) * fs.Weights[i]
+	}
+	return t
+}
+
+// Sample converts a ClusteredFrame to the generic form.
+func (cf *ClusteredFrame) Sample() FrameSample {
+	return FrameSample{Draws: cf.RepDraws, Weights: cf.Weights}
+}
+
+// RandomSample picks k distinct draws uniformly at random; every
+// sampled draw stands for n/k parent draws. This is the paper-standard
+// naive baseline at equal simulation budget.
+func RandomSample(f *trace.Frame, k int, rng *dcmath.RNG) (FrameSample, error) {
+	n := len(f.Draws)
+	if err := checkBudget(n, k); err != nil {
+		return FrameSample{}, err
+	}
+	perm := rng.Perm(n)
+	return evenSample(perm[:k], n), nil
+}
+
+// UniformSample picks every (n/k)-th draw — systematic sampling in
+// submission order.
+func UniformSample(f *trace.Frame, k int) (FrameSample, error) {
+	n := len(f.Draws)
+	if err := checkBudget(n, k); err != nil {
+		return FrameSample{}, err
+	}
+	idx := make([]int, k)
+	for i := 0; i < k; i++ {
+		idx[i] = i * n / k
+	}
+	return evenSample(idx, n), nil
+}
+
+// FirstNSample keeps the first k draws — the "simulate the start of
+// the frame" strawman.
+func FirstNSample(f *trace.Frame, k int) (FrameSample, error) {
+	n := len(f.Draws)
+	if err := checkBudget(n, k); err != nil {
+		return FrameSample{}, err
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	return evenSample(idx, n), nil
+}
+
+func checkBudget(n, k int) error {
+	if k <= 0 || k > n {
+		return fmt.Errorf("subset: sample budget %d outside [1, %d]", k, n)
+	}
+	return nil
+}
+
+func evenSample(idx []int, n int) FrameSample {
+	w := float64(n) / float64(len(idx))
+	fs := FrameSample{Draws: idx, Weights: make([]float64, len(idx))}
+	for i := range fs.Weights {
+		fs.Weights[i] = w
+	}
+	return fs
+}

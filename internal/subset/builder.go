@@ -1,0 +1,243 @@
+package subset
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/phase"
+	"repro/internal/trace"
+)
+
+// Frame is one selected frame of a subset: the representative draws of
+// its clusters, their weights, and the scale factor that maps the
+// frame's cost to the share of the parent workload it stands for.
+type Frame struct {
+	// ParentFrame is the frame's index in the parent workload.
+	ParentFrame int
+	// Phase is the phase this frame represents.
+	Phase int
+	// Draws are copies of the representative draw calls.
+	Draws []trace.DrawCall
+	// Weights holds, per draw, the size of the cluster it represents.
+	Weights []float64
+	// PhaseScale is how many parent frames this one frame stands for
+	// (phase frame count / representative frames of the phase).
+	PhaseScale float64
+}
+
+// PredictNs reconstructs the cost of all parent frames this subset
+// frame represents.
+func (sf *Frame) PredictNs(o CostOracle) float64 {
+	var t float64
+	for i := range sf.Draws {
+		t += o.DrawNs(&sf.Draws[i]) * sf.Weights[i]
+	}
+	return t * sf.PhaseScale
+}
+
+// SimDraws returns the number of draws that must be simulated for this
+// frame (the subset's cost unit).
+func (sf *Frame) SimDraws() int { return len(sf.Draws) }
+
+// Subset is a representative subset of a parent workload. It shares
+// the parent's resource tables (shaders, textures, render targets):
+// only the draw population shrinks.
+type Subset struct {
+	Parent    *trace.Workload
+	Detection phase.Detection
+	Frames    []Frame
+	// ParentDraws caches the parent's total draw count.
+	ParentDraws int
+}
+
+// Options configures subset construction.
+type Options struct {
+	Method Method
+	Phase  phase.Options
+
+	// FramesPerPhase is how many frames of each phase's representative
+	// interval the subset keeps (0 or 1 = one, the default). Keeping
+	// more frames grows the subset proportionally but averages out
+	// frame-to-frame jitter in the reconstruction; the trade is
+	// exercised in subset tests.
+	FramesPerPhase int
+}
+
+// DefaultOptions returns the experiment configuration.
+func DefaultOptions() Options {
+	return Options{Method: DefaultMethod(), Phase: phase.DefaultOptions()}
+}
+
+// Build constructs a subset: detect phases, keep FramesPerPhase frames
+// of each phase's representative interval (the middle one by default),
+// cluster them, and keep only cluster representatives with weights.
+func Build(w *trace.Workload, opt Options) (*Subset, error) {
+	if opt.FramesPerPhase < 0 {
+		return nil, fmt.Errorf("subset: FramesPerPhase %d < 0", opt.FramesPerPhase)
+	}
+	perPhase := opt.FramesPerPhase
+	if perPhase == 0 {
+		perPhase = 1
+	}
+	det, err := phase.Detect(w, opt.Phase)
+	if err != nil {
+		return nil, err
+	}
+	fc, err := NewFrameClusterer(w, opt.Method)
+	if err != nil {
+		return nil, err
+	}
+	phaseFrames := make([]int, det.NumPhases) // parent frames per phase
+	for _, iv := range det.Intervals {
+		phaseFrames[iv.Phase] += iv.End - iv.Start
+	}
+	s := &Subset{Parent: w, Detection: det, ParentDraws: w.NumDraws()}
+	for p, ii := range det.Representatives {
+		iv := det.Intervals[ii]
+		for _, fi := range pickFrames(iv.Start, iv.End, perPhase) {
+			cf, err := fc.ClusterFrame(&w.Frames[fi], fi)
+			if err != nil {
+				return nil, err
+			}
+			sf := Frame{
+				ParentFrame: fi,
+				Phase:       p,
+				Draws:       make([]trace.DrawCall, len(cf.RepDraws)),
+				Weights:     cf.Weights,
+				// Each kept frame stands for an equal share of the
+				// phase's parent frames.
+				PhaseScale: float64(phaseFrames[p]) / float64(minInt(perPhase, iv.End-iv.Start)),
+			}
+			for c, di := range cf.RepDraws {
+				sf.Draws[c] = w.Frames[fi].Draws[di]
+			}
+			s.Frames = append(s.Frames, sf)
+		}
+	}
+	return s, nil
+}
+
+// pickFrames returns up to n frame indices spread evenly across
+// [start, end), centered (the single-frame case picks the middle).
+func pickFrames(start, end, n int) []int {
+	span := end - start
+	if n > span {
+		n = span
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		// Midpoints of n equal strips.
+		out[i] = start + (2*i+1)*span/(2*n)
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// NumDraws returns the subset's total simulated draw count.
+func (s *Subset) NumDraws() int {
+	n := 0
+	for i := range s.Frames {
+		n += s.Frames[i].SimDraws()
+	}
+	return n
+}
+
+// SizeRatio returns subset draws / parent draws — the paper's
+// "less than one percent of parent workload" metric.
+func (s *Subset) SizeRatio() float64 {
+	if s.ParentDraws == 0 {
+		return 0
+	}
+	return float64(s.NumDraws()) / float64(s.ParentDraws)
+}
+
+// EstimateParentNs reconstructs the parent workload's total cost from
+// the subset under the given oracle. This is the quantity whose
+// scaling behaviour must track the parent's across architecture
+// configurations.
+func (s *Subset) EstimateParentNs(o CostOracle) float64 {
+	var t float64
+	for i := range s.Frames {
+		t += s.Frames[i].PredictNs(o)
+	}
+	return t
+}
+
+// TotalsOracle decomposes a draw's cost into the components an energy
+// model needs. *gpu.Simulator satisfies it.
+type TotalsOracle interface {
+	DrawTotals(d *trace.DrawCall) (totalNs, computeNs, memoryNs, trafficBytes float64)
+}
+
+// EstimateParentTotals reconstructs the parent's aggregate wall time,
+// core-busy time, memory-busy time and DRAM traffic from the subset —
+// the inputs to energy-aware pathfinding (E16).
+func (s *Subset) EstimateParentTotals(o TotalsOracle) (totalNs, computeNs, memoryNs, trafficBytes float64) {
+	for i := range s.Frames {
+		sf := &s.Frames[i]
+		for di := range sf.Draws {
+			tn, cn, mn, tb := o.DrawTotals(&sf.Draws[di])
+			w := sf.Weights[di] * sf.PhaseScale
+			totalNs += tn * w
+			computeNs += cn * w
+			memoryNs += mn * w
+			trafficBytes += tb * w
+		}
+	}
+	return totalNs, computeNs, memoryNs, trafficBytes
+}
+
+// Validate checks structural invariants of the subset.
+func (s *Subset) Validate() error {
+	if s.Parent == nil {
+		return fmt.Errorf("subset: nil parent")
+	}
+	if len(s.Frames) == 0 {
+		return fmt.Errorf("subset: no frames")
+	}
+	covered := make([]bool, s.Detection.NumPhases)
+	for i := range s.Frames {
+		p := s.Frames[i].Phase
+		if p < 0 || p >= s.Detection.NumPhases {
+			return fmt.Errorf("subset: frame %d has phase %d of %d", i, p, s.Detection.NumPhases)
+		}
+		covered[p] = true
+	}
+	for p, ok := range covered {
+		if !ok {
+			return fmt.Errorf("subset: phase %d has no representative frame", p)
+		}
+	}
+	var scaleSum float64
+	for i := range s.Frames {
+		sf := &s.Frames[i]
+		if sf.ParentFrame < 0 || sf.ParentFrame >= len(s.Parent.Frames) {
+			return fmt.Errorf("subset: frame %d references parent frame %d", i, sf.ParentFrame)
+		}
+		if len(sf.Draws) == 0 {
+			return fmt.Errorf("subset: frame %d has no draws", i)
+		}
+		if len(sf.Draws) != len(sf.Weights) {
+			return fmt.Errorf("subset: frame %d draws/weights mismatch", i)
+		}
+		for _, wgt := range sf.Weights {
+			if wgt < 1 {
+				return fmt.Errorf("subset: frame %d has weight %v < 1", i, wgt)
+			}
+		}
+		if sf.PhaseScale < 1 {
+			return fmt.Errorf("subset: frame %d phase scale %v < 1", i, sf.PhaseScale)
+		}
+		scaleSum += sf.PhaseScale
+	}
+	if math.Abs(scaleSum-float64(len(s.Parent.Frames))) > 1e-6 {
+		return fmt.Errorf("subset: phase scales sum to %v, parent has %d frames", scaleSum, len(s.Parent.Frames))
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package subset
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// CalibrateThreshold finds the leader-clustering threshold whose
+// average clustering efficiency over sampled frames lands within tol
+// of target, by bisection. This automates picking the operating point
+// on the error/efficiency curve (E5) for a new workload, instead of
+// hand-tuning: efficiency is monotone non-decreasing in the threshold,
+// which makes bisection sound.
+//
+// frameStride controls the evaluation sample (1 = every frame). The
+// returned method is m with its Threshold replaced.
+func CalibrateThreshold(w *trace.Workload, m Method, target, tol float64, frameStride int) (Method, error) {
+	if m.Algo != AlgoLeader {
+		return Method{}, fmt.Errorf("subset: calibration requires the leader algorithm, got %v", m.Algo)
+	}
+	if target <= 0 || target >= 1 {
+		return Method{}, fmt.Errorf("subset: target efficiency %v outside (0, 1)", target)
+	}
+	if tol <= 0 {
+		return Method{}, fmt.Errorf("subset: tolerance %v <= 0", tol)
+	}
+	if frameStride <= 0 {
+		return Method{}, fmt.Errorf("subset: frame stride %d <= 0", frameStride)
+	}
+
+	eff := func(th float64) (float64, error) {
+		mm := m
+		mm.Threshold = th
+		fc, err := NewFrameClusterer(w, mm)
+		if err != nil {
+			return 0, err
+		}
+		var sum float64
+		n := 0
+		for fi := 0; fi < len(w.Frames); fi += frameStride {
+			cf, err := fc.ClusterFrame(&w.Frames[fi], fi)
+			if err != nil {
+				return 0, err
+			}
+			sum += cf.Result.Efficiency()
+			n++
+		}
+		return sum / float64(n), nil
+	}
+
+	lo, hi := 0.01, 16.0
+	effHi, err := eff(hi)
+	if err != nil {
+		return Method{}, err
+	}
+	if effHi < target {
+		return Method{}, fmt.Errorf("subset: target efficiency %.3f unreachable (max %.3f at threshold %.1f)", target, effHi, hi)
+	}
+	effLo, err := eff(lo)
+	if err != nil {
+		return Method{}, err
+	}
+	if effLo >= target {
+		// Already above target at the minimum threshold; the workload
+		// is more redundant than the target asks for.
+		m.Threshold = lo
+		return m, nil
+	}
+	for iter := 0; iter < 24; iter++ {
+		mid := (lo + hi) / 2
+		e, err := eff(mid)
+		if err != nil {
+			return Method{}, err
+		}
+		if e >= target-tol && e <= target+tol {
+			m.Threshold = mid
+			return m, nil
+		}
+		if e < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	// Converged in threshold without hitting the tolerance band
+	// (efficiency steps discretely with cluster counts); return the
+	// upper bracket, which is guaranteed >= target side.
+	m.Threshold = hi
+	return m, nil
+}

@@ -1,0 +1,78 @@
+package subset
+
+import (
+	"math"
+	"testing"
+)
+
+func calibratedEff(t *testing.T, m Method) float64 {
+	t.Helper()
+	w := testGame(t)
+	fc, err := NewFrameClusterer(w, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	n := 0
+	for fi := 0; fi < len(w.Frames); fi += 8 {
+		cf, err := fc.ClusterFrame(&w.Frames[fi], fi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += cf.Result.Efficiency()
+		n++
+	}
+	return sum / float64(n)
+}
+
+func TestCalibrateThresholdHitsTarget(t *testing.T) {
+	w := testGame(t)
+	const target = 0.60
+	m, err := CalibrateThreshold(w, DefaultMethod(), target, 0.01, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := calibratedEff(t, m)
+	if math.Abs(got-target) > 0.03 {
+		t.Errorf("calibrated efficiency = %.3f at threshold %.3f, want ~%.2f", got, m.Threshold, target)
+	}
+}
+
+func TestCalibrateThresholdUnreachable(t *testing.T) {
+	w := testGame(t)
+	if _, err := CalibrateThreshold(w, DefaultMethod(), 0.999, 0.0001, 8); err == nil {
+		t.Error("absurd target accepted")
+	}
+}
+
+func TestCalibrateThresholdLowTarget(t *testing.T) {
+	// A target below the minimum achievable efficiency returns the
+	// minimum threshold rather than failing.
+	w := testGame(t)
+	m, err := CalibrateThreshold(w, DefaultMethod(), 0.01, 0.005, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Threshold > 0.02 {
+		t.Errorf("low target threshold = %v, want the floor", m.Threshold)
+	}
+}
+
+func TestCalibrateThresholdValidation(t *testing.T) {
+	w := testGame(t)
+	km := DefaultMethod()
+	km.Algo = AlgoKMeans
+	km.K = 10
+	if _, err := CalibrateThreshold(w, km, 0.6, 0.01, 8); err == nil {
+		t.Error("non-leader method accepted")
+	}
+	if _, err := CalibrateThreshold(w, DefaultMethod(), 0, 0.01, 8); err == nil {
+		t.Error("zero target accepted")
+	}
+	if _, err := CalibrateThreshold(w, DefaultMethod(), 0.6, 0, 8); err == nil {
+		t.Error("zero tolerance accepted")
+	}
+	if _, err := CalibrateThreshold(w, DefaultMethod(), 0.6, 0.01, 0); err == nil {
+		t.Error("zero stride accepted")
+	}
+}

@@ -1,0 +1,75 @@
+package sweep
+
+import (
+	"fmt"
+
+	"repro/internal/dcmath"
+	"repro/internal/gpu"
+	"repro/internal/metrics"
+	"repro/internal/subset"
+	"repro/internal/trace"
+)
+
+// EnergyPoint is one configuration's performance and energy, measured
+// on the parent and reconstructed from the subset.
+type EnergyPoint struct {
+	Config       gpu.Config
+	ParentNs     float64
+	SubsetNs     float64
+	ParentEnergy gpu.Energy
+	SubsetEnergy gpu.Energy
+}
+
+// EnergyResult is a completed energy-aware sweep.
+type EnergyResult struct {
+	Points []EnergyPoint
+	// EDPCorrelation is the Pearson correlation of parent and subset
+	// energy-delay-product curves (normalized to the first point).
+	EDPCorrelation float64
+	// BestByParentEDP / BestBySubsetEDP are the min-EDP picks.
+	BestByParentEDP int
+	BestBySubsetEDP int
+	Agreement       bool
+}
+
+// RunEnergy prices the parent and the subset's reconstruction on every
+// config under the power model, and compares min-EDP decisions.
+func RunEnergy(w *trace.Workload, s *subset.Subset, pm gpu.PowerModel, cfgs []gpu.Config) (EnergyResult, error) {
+	if err := pm.Validate(); err != nil {
+		return EnergyResult{}, err
+	}
+	if len(cfgs) < 2 {
+		return EnergyResult{}, fmt.Errorf("sweep: need at least 2 configs, have %d", len(cfgs))
+	}
+	res := EnergyResult{Points: make([]EnergyPoint, len(cfgs))}
+	parentEDP := make([]float64, len(cfgs))
+	subsetEDP := make([]float64, len(cfgs))
+	for i, cfg := range cfgs {
+		sim, err := gpu.NewSimulator(cfg, w)
+		if err != nil {
+			return EnergyResult{}, err
+		}
+		run, tot := sim.RunTotals()
+		pe := pm.Energy(cfg, tot)
+
+		tn, cn, mn, tb := s.EstimateParentTotals(sim)
+		se := pm.Energy(cfg, gpu.Totals{TotalNs: tn, ComputeNs: cn, MemoryNs: mn, TrafficBytes: tb})
+
+		res.Points[i] = EnergyPoint{
+			Config: cfg, ParentNs: run.TotalNs, SubsetNs: tn,
+			ParentEnergy: pe, SubsetEnergy: se,
+		}
+		parentEDP[i] = pe.EDPJs
+		subsetEDP[i] = se.EDPJs
+		if pe.EDPJs < parentEDP[res.BestByParentEDP] {
+			res.BestByParentEDP = i
+		}
+		if se.EDPJs < subsetEDP[res.BestBySubsetEDP] {
+			res.BestBySubsetEDP = i
+		}
+	}
+	res.Agreement = res.BestByParentEDP == res.BestBySubsetEDP
+	res.EDPCorrelation = dcmath.Pearson(
+		metrics.Speedups(parentEDP, 0), metrics.Speedups(subsetEDP, 0))
+	return res, nil
+}

@@ -1,0 +1,144 @@
+// Package sweep runs architecture pathfinding studies: it prices a
+// parent workload and its subset across grids of GPU configurations
+// and quantifies how faithfully the subset reproduces the parent's
+// scaling behaviour and design decisions.
+//
+// This is the consumer side of the paper: the entire point of workload
+// subsetting is that these sweeps become ~100x cheaper when only the
+// subset is simulated.
+package sweep
+
+import (
+	"fmt"
+
+	"repro/internal/dcmath"
+	"repro/internal/gpu"
+	"repro/internal/metrics"
+	"repro/internal/subset"
+	"repro/internal/trace"
+)
+
+// DefaultCoreClocks returns the core-frequency sweep of the validation
+// experiment (E8): 0.4-2.0 GHz in 9 points.
+func DefaultCoreClocks() []float64 {
+	return []float64{0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0}
+}
+
+// DefaultMemClocks returns the memory-frequency sweep (E11).
+func DefaultMemClocks() []float64 {
+	return []float64{0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0}
+}
+
+// CoreClockSweep derives one config per core clock.
+func CoreClockSweep(base gpu.Config, clocks []float64) []gpu.Config {
+	out := make([]gpu.Config, len(clocks))
+	for i, c := range clocks {
+		out[i] = base.WithCoreClock(c)
+	}
+	return out
+}
+
+// MemClockSweep derives one config per memory clock.
+func MemClockSweep(base gpu.Config, clocks []float64) []gpu.Config {
+	out := make([]gpu.Config, len(clocks))
+	for i, c := range clocks {
+		out[i] = base.WithMemClock(c)
+	}
+	return out
+}
+
+// Grid derives the cross product of core and memory clocks — the
+// pathfinding design space of E12.
+func Grid(base gpu.Config, coreClocks, memClocks []float64) []gpu.Config {
+	out := make([]gpu.Config, 0, len(coreClocks)*len(memClocks))
+	for _, cc := range coreClocks {
+		for _, mc := range memClocks {
+			out = append(out, base.WithCoreClock(cc).WithMemClock(mc))
+		}
+	}
+	return out
+}
+
+// Point is one configuration's measurement.
+type Point struct {
+	Config   gpu.Config
+	ParentNs float64
+	SubsetNs float64 // subset's reconstruction of the parent total
+}
+
+// Result is a completed sweep.
+type Result struct {
+	Points []Point
+	// ParentSpeedups/SubsetSpeedups are relative to the first point.
+	ParentSpeedups []float64
+	SubsetSpeedups []float64
+	// Correlation is the Pearson correlation of the two speedup curves
+	// (the paper's r >= 0.997 validation statistic).
+	Correlation float64
+	// RankCorrelation is the Spearman correlation of raw runtimes —
+	// does the subset order the configs like the parent?
+	RankCorrelation float64
+}
+
+// Run prices the parent and the subset's parent-estimate on every
+// config.
+func Run(w *trace.Workload, s *subset.Subset, cfgs []gpu.Config) (Result, error) {
+	if len(cfgs) < 2 {
+		return Result{}, fmt.Errorf("sweep: need at least 2 configs, have %d", len(cfgs))
+	}
+	res := Result{Points: make([]Point, len(cfgs))}
+	parent := make([]float64, len(cfgs))
+	sub := make([]float64, len(cfgs))
+	for i, cfg := range cfgs {
+		sim, err := gpu.NewSimulator(cfg, w)
+		if err != nil {
+			return Result{}, err
+		}
+		parent[i] = sim.Run().TotalNs
+		sub[i] = s.EstimateParentNs(sim)
+		res.Points[i] = Point{Config: cfg, ParentNs: parent[i], SubsetNs: sub[i]}
+	}
+	res.ParentSpeedups = metrics.Speedups(parent, 0)
+	res.SubsetSpeedups = metrics.Speedups(sub, 0)
+	res.Correlation = metrics.CurveCorrelation(res.ParentSpeedups, res.SubsetSpeedups)
+	res.RankCorrelation = dcmath.Spearman(parent, sub)
+	return res, nil
+}
+
+// Decision records which config each side would pick (minimum
+// runtime) — the pathfinding outcome the subset must preserve.
+type Decision struct {
+	BestByParent int
+	BestBySubset int
+	Agreement    bool
+}
+
+// Decide extracts the pathfinding decision from a sweep.
+func Decide(res Result) Decision {
+	var d Decision
+	for i, p := range res.Points {
+		if p.ParentNs < res.Points[d.BestByParent].ParentNs {
+			d.BestByParent = i
+		}
+		if p.SubsetNs < res.Points[d.BestBySubset].SubsetNs {
+			d.BestBySubset = i
+		}
+	}
+	d.Agreement = d.BestByParent == d.BestBySubset
+	return d
+}
+
+// SubsetOnly prices just the subset across configs — the production
+// pathfinding mode where the parent is never simulated. Returns the
+// subset's parent-estimates per config.
+func SubsetOnly(s *subset.Subset, cfgs []gpu.Config) ([]float64, error) {
+	out := make([]float64, len(cfgs))
+	for i, cfg := range cfgs {
+		sim, err := gpu.NewSimulator(cfg, s.Parent)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s.EstimateParentNs(sim)
+	}
+	return out, nil
+}

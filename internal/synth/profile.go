@@ -1,0 +1,209 @@
+// Package synth generates synthetic 3D workloads with the statistical
+// structure of captured game traces.
+//
+// The paper's corpus is proprietary D3D captures of the BioShock
+// series (717 frames, ~828K draw calls). What the subsetting
+// methodology actually exploits in those captures is structural, not
+// content-specific:
+//
+//   - engines batch draws by material, so a frame contains many draws
+//     that are near-duplicates of each other (this is what makes
+//     draw-call clustering efficient);
+//   - material populations are heavy-tailed: a few materials are drawn
+//     dozens of times per frame, most once or twice;
+//   - games revisit content — scene loops, alternating combat and
+//     traversal — so frame intervals repeat (this is what makes phase
+//     detection work);
+//   - a small fraction of draws are erratic (particles, post effects)
+//     whose cost varies even within a material.
+//
+// This package reproduces exactly those properties with per-game
+// profiles, deterministically from a seed.
+package synth
+
+import "fmt"
+
+// Segment is one run of frames rendered from a single scene.
+type Segment struct {
+	Scene  int // index into the profile's scenes
+	Frames int
+}
+
+// Profile describes one synthetic game. Use the Bioshock*Profile
+// constructors for the paper corpus or build custom profiles for new
+// studies.
+type Profile struct {
+	Name string
+
+	// Frames is the total frame count; the Script is tiled (and
+	// truncated) to reach it.
+	Frames int
+
+	// NumScenes is the number of distinct scenes (content regions).
+	// Scene names are generated as "scene0"... and recorded as frame
+	// metadata for evaluation.
+	NumScenes int
+
+	// Script is the scene sequence before tiling. A script shorter than
+	// Frames repeats — that repetition is the phase structure the phase
+	// detector must find.
+	Script []Segment
+
+	// MaterialsPerScene is the size of each scene's material library.
+	// SharedMaterials are drawn every frame regardless of scene (HUD,
+	// post-processing, sky).
+	MaterialsPerScene int
+	SharedMaterials   int
+
+	// MeanDrawsPerMaterial controls per-frame material repetition via a
+	// heavy-tailed draw-count distribution (>= 1 draw per present
+	// material per frame).
+	MeanDrawsPerMaterial float64
+
+	// JitterSigma is the lognormal sigma applied per draw to vertex
+	// count and coverage of stable materials. UnstableFrac of materials
+	// instead jitter with UnstableSigma (particles, effects) — these
+	// are the source of cluster outliers.
+	JitterSigma   float64
+	UnstableFrac  float64
+	UnstableSigma float64
+
+	// Resource pool sizes.
+	VSPool   int
+	PSPool   int
+	Textures int
+
+	// Render resolution of the main target.
+	Width, Height int
+}
+
+// Validate reports the first structural problem with the profile.
+func (p Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("synth: profile has empty name")
+	case p.Frames <= 0:
+		return fmt.Errorf("synth: %s: frames %d <= 0", p.Name, p.Frames)
+	case p.NumScenes <= 0:
+		return fmt.Errorf("synth: %s: scenes %d <= 0", p.Name, p.NumScenes)
+	case len(p.Script) == 0:
+		return fmt.Errorf("synth: %s: empty script", p.Name)
+	case p.MaterialsPerScene <= 0:
+		return fmt.Errorf("synth: %s: materials/scene %d <= 0", p.Name, p.MaterialsPerScene)
+	case p.SharedMaterials < 0:
+		return fmt.Errorf("synth: %s: shared materials %d < 0", p.Name, p.SharedMaterials)
+	case p.MeanDrawsPerMaterial < 1:
+		return fmt.Errorf("synth: %s: mean draws/material %v < 1", p.Name, p.MeanDrawsPerMaterial)
+	case p.JitterSigma < 0 || p.UnstableSigma < 0:
+		return fmt.Errorf("synth: %s: negative jitter sigma", p.Name)
+	case p.UnstableFrac < 0 || p.UnstableFrac > 1:
+		return fmt.Errorf("synth: %s: unstable fraction %v outside [0, 1]", p.Name, p.UnstableFrac)
+	case p.VSPool <= 0 || p.PSPool <= 0 || p.Textures <= 0:
+		return fmt.Errorf("synth: %s: resource pools must be positive", p.Name)
+	case p.Width <= 0 || p.Height <= 0:
+		return fmt.Errorf("synth: %s: resolution %dx%d invalid", p.Name, p.Width, p.Height)
+	}
+	for i, s := range p.Script {
+		if s.Scene < 0 || s.Scene >= p.NumScenes {
+			return fmt.Errorf("synth: %s: script segment %d references scene %d of %d", p.Name, i, s.Scene, p.NumScenes)
+		}
+		if s.Frames <= 0 {
+			return fmt.Errorf("synth: %s: script segment %d has %d frames", p.Name, i, s.Frames)
+		}
+	}
+	return nil
+}
+
+// ScriptLen returns the frame length of one script iteration.
+func (p Profile) ScriptLen() int {
+	n := 0
+	for _, s := range p.Script {
+		n += s.Frames
+	}
+	return n
+}
+
+// Bioshock1Profile models the first game: corridor-heavy pacing, a
+// compact shader set, strong A/B scene alternation.
+func Bioshock1Profile() Profile {
+	return Profile{
+		Name:      "bioshock1",
+		Frames:    239,
+		NumScenes: 4,
+		// Segment lengths are multiples of the 4-frame characterization
+		// interval, mirroring how captured sequences cut cleanly at
+		// content boundaries; phase robustness to misaligned cuts is
+		// exercised separately (see the phasestudy example).
+		Script: []Segment{
+			{Scene: 0, Frames: 12}, {Scene: 1, Frames: 8},
+			{Scene: 0, Frames: 12}, {Scene: 2, Frames: 16},
+			{Scene: 1, Frames: 8}, {Scene: 3, Frames: 8},
+		},
+		MaterialsPerScene:    261,
+		SharedMaterials:      68,
+		MeanDrawsPerMaterial: 2.72,
+		JitterSigma:          0.06,
+		UnstableFrac:         0.14,
+		UnstableSigma:        0.35,
+		VSPool:               18,
+		PSPool:               56,
+		Textures:             700,
+		Width:                1280, Height: 720,
+	}
+}
+
+// Bioshock2Profile models the second game: larger spaces, more
+// materials in flight, slightly busier frames.
+func Bioshock2Profile() Profile {
+	return Profile{
+		Name:      "bioshock2",
+		Frames:    239,
+		NumScenes: 5,
+		Script: []Segment{
+			{Scene: 0, Frames: 12}, {Scene: 1, Frames: 12},
+			{Scene: 2, Frames: 8}, {Scene: 1, Frames: 12},
+			{Scene: 3, Frames: 8}, {Scene: 4, Frames: 12},
+		},
+		MaterialsPerScene:    299,
+		SharedMaterials:      78,
+		MeanDrawsPerMaterial: 2.92,
+		JitterSigma:          0.07,
+		UnstableFrac:         0.13,
+		UnstableSigma:        0.35,
+		VSPool:               22,
+		PSPool:               64,
+		Textures:             850,
+		Width:                1280, Height: 720,
+	}
+}
+
+// BioshockInfiniteProfile models the third game: open vistas, the
+// heaviest frames and the richest shader library of the series.
+func BioshockInfiniteProfile() Profile {
+	return Profile{
+		Name:      "bioshockinf",
+		Frames:    239,
+		NumScenes: 6,
+		Script: []Segment{
+			{Scene: 0, Frames: 16}, {Scene: 1, Frames: 8},
+			{Scene: 2, Frames: 12}, {Scene: 0, Frames: 12},
+			{Scene: 3, Frames: 8}, {Scene: 4, Frames: 12},
+			{Scene: 5, Frames: 8},
+		},
+		MaterialsPerScene:    334,
+		SharedMaterials:      88,
+		MeanDrawsPerMaterial: 3.22,
+		JitterSigma:          0.08,
+		UnstableFrac:         0.14,
+		UnstableSigma:        0.35,
+		VSPool:               26,
+		PSPool:               80,
+		Textures:             1000,
+		Width:                1280, Height: 720,
+	}
+}
+
+// SuiteProfiles returns the three-game corpus profiles in series order.
+func SuiteProfiles() []Profile {
+	return []Profile{Bioshock1Profile(), Bioshock2Profile(), BioshockInfiniteProfile()}
+}

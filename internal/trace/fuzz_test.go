@@ -1,0 +1,62 @@
+package trace_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/tracetest"
+)
+
+// FuzzDecode ensures the binary decoder never panics and never
+// returns an invalid workload, no matter how the input is mangled.
+func FuzzDecode(f *testing.F) {
+	var buf bytes.Buffer
+	if err := tracetest.Tiny().Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("not a gob stream at all"))
+	f.Add(valid[:len(valid)/2])
+	mutated := append([]byte{}, valid...)
+	for i := 10; i < len(mutated); i += 97 {
+		mutated[i] ^= 0xff
+	}
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w, err := trace.Decode(bytes.NewReader(data))
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		if err := w.Validate(); err != nil {
+			t.Errorf("Decode returned invalid workload: %v", err)
+		}
+	})
+}
+
+// FuzzStreamDecode does the same for the frame-stream format.
+func FuzzStreamDecode(f *testing.F) {
+	var buf bytes.Buffer
+	if err := trace.EncodeStream(&buf, tracetest.Tiny()); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:40])
+	f.Add([]byte("junk"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := trace.NewStreamDecoder(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 100; i++ {
+			if _, err := dec.NextFrame(); err != nil {
+				return // EOF or rejection both fine
+			}
+		}
+	})
+}

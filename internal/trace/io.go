@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/shader"
+)
+
+// wire is the serialization form of Workload. The shader registry has
+// unexported bookkeeping, so programs travel as a flat slice and the
+// registry is rebuilt on decode.
+type wire struct {
+	Name          string
+	Frames        []Frame
+	Shaders       []shader.Program
+	Textures      []Texture
+	RenderTargets []RenderTarget
+}
+
+func (w *Workload) toWire() wire {
+	progs := w.Shaders.Programs()
+	flat := make([]shader.Program, len(progs))
+	for i, p := range progs {
+		flat[i] = *p
+	}
+	return wire{
+		Name:          w.Name,
+		Frames:        w.Frames,
+		Shaders:       flat,
+		Textures:      w.Textures,
+		RenderTargets: w.RenderTargets,
+	}
+}
+
+func fromWire(ww wire) (*Workload, error) {
+	progs := make([]*shader.Program, len(ww.Shaders))
+	for i := range ww.Shaders {
+		progs[i] = &ww.Shaders[i]
+	}
+	reg, err := shader.RestoreRegistry(progs)
+	if err != nil {
+		return nil, fmt.Errorf("trace: restoring shaders: %w", err)
+	}
+	w := &Workload{
+		Name:          ww.Name,
+		Frames:        ww.Frames,
+		Shaders:       reg,
+		Textures:      ww.Textures,
+		RenderTargets: ww.RenderTargets,
+	}
+	if err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: decoded workload invalid: %w", err)
+	}
+	return w, nil
+}
+
+// Encode writes the workload in the library's binary (gob) format.
+func (w *Workload) Encode(out io.Writer) error {
+	if err := gob.NewEncoder(out).Encode(w.toWire()); err != nil {
+		return fmt.Errorf("trace: encoding workload %q: %w", w.Name, err)
+	}
+	return nil
+}
+
+// Decode reads a workload in binary format and validates it.
+func Decode(in io.Reader) (*Workload, error) {
+	var ww wire
+	if err := gob.NewDecoder(in).Decode(&ww); err != nil {
+		return nil, fmt.Errorf("trace: decoding workload: %w", err)
+	}
+	return fromWire(ww)
+}
+
+// EncodeJSON writes the workload as indented JSON, for inspection and
+// interchange with non-Go tooling.
+func (w *Workload) EncodeJSON(out io.Writer) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(w.toWire()); err != nil {
+		return fmt.Errorf("trace: JSON-encoding workload %q: %w", w.Name, err)
+	}
+	return nil
+}
+
+// DecodeJSON reads a workload in JSON format and validates it.
+func DecodeJSON(in io.Reader) (*Workload, error) {
+	var ww wire
+	if err := json.NewDecoder(in).Decode(&ww); err != nil {
+		return nil, fmt.Errorf("trace: JSON-decoding workload: %w", err)
+	}
+	return fromWire(ww)
+}

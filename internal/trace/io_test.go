@@ -1,0 +1,109 @@
+package trace_test
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/tracetest"
+)
+
+func TestGobRoundTrip(t *testing.T) {
+	w := tracetest.Tiny()
+	var buf bytes.Buffer
+	if err := w.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertWorkloadsEqual(t, w, got)
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	w := tracetest.Tiny()
+	var buf bytes.Buffer
+	if err := w.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"Name": "tiny"`) {
+		t.Error("JSON output missing expected field")
+	}
+	got, err := trace.DecodeJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertWorkloadsEqual(t, w, got)
+}
+
+func assertWorkloadsEqual(t *testing.T, want, got *trace.Workload) {
+	t.Helper()
+	if got.Name != want.Name {
+		t.Errorf("name %q != %q", got.Name, want.Name)
+	}
+	if got.NumFrames() != want.NumFrames() || got.NumDraws() != want.NumDraws() {
+		t.Fatalf("shape mismatch: %d/%d frames, %d/%d draws",
+			got.NumFrames(), want.NumFrames(), got.NumDraws(), want.NumDraws())
+	}
+	for fi := range want.Frames {
+		for di := range want.Frames[fi].Draws {
+			a, b := want.Frames[fi].Draws[di], got.Frames[fi].Draws[di]
+			// Textures is a slice; compare element-wise then blank it
+			// for the struct comparison.
+			if len(a.Textures) != len(b.Textures) {
+				t.Fatalf("frame %d draw %d texture count", fi, di)
+			}
+			for k := range a.Textures {
+				if a.Textures[k] != b.Textures[k] {
+					t.Fatalf("frame %d draw %d texture %d", fi, di, k)
+				}
+			}
+			a.Textures, b.Textures = nil, nil
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("frame %d draw %d mismatch:\n%+v\n%+v", fi, di, a, b)
+			}
+		}
+	}
+	if got.Shaders.Len() != want.Shaders.Len() {
+		t.Fatalf("shader count %d != %d", got.Shaders.Len(), want.Shaders.Len())
+	}
+	for _, id := range want.Shaders.IDs() {
+		wp := want.Shaders.MustLookup(id)
+		gp, err := got.Shaders.Lookup(id)
+		if err != nil {
+			t.Fatalf("shader %d missing after round trip", id)
+		}
+		if gp.Name != wp.Name || gp.Stage != wp.Stage || len(gp.Body) != len(wp.Body) {
+			t.Fatalf("shader %d changed", id)
+		}
+	}
+	if len(got.Textures) != len(want.Textures) || len(got.RenderTargets) != len(want.RenderTargets) {
+		t.Fatal("resource tables changed size")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := trace.Decode(strings.NewReader("not a gob stream")); err == nil {
+		t.Error("garbage gob accepted")
+	}
+	if _, err := trace.DecodeJSON(strings.NewReader("{")); err == nil {
+		t.Error("garbage JSON accepted")
+	}
+}
+
+func TestDecodeValidatesContent(t *testing.T) {
+	// Encode a workload, then break it *before* encoding so the decoder
+	// sees structurally valid gob that fails semantic validation.
+	w := tracetest.Tiny()
+	w.Frames[0].Draws[0].CoverageFrac = 7 // invalid
+	var buf bytes.Buffer
+	if err := w.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.Decode(&buf); err == nil {
+		t.Error("decoder accepted semantically invalid workload")
+	}
+}

@@ -1,0 +1,103 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/tracetest"
+)
+
+func TestTextureFootprint(t *testing.T) {
+	// 4x4 RGBA with full mip chain: 64 + 16 + 4 bytes (1x1 level has
+	// w=0 after division so the chain stops there with 3 levels).
+	tex := trace.Texture{Width: 4, Height: 4, BytesPerTexel: 4, MipLevels: 3}
+	if got := tex.Footprint(); got != 64+16+4 {
+		t.Errorf("Footprint = %d, want 84", got)
+	}
+	noMips := trace.Texture{Width: 8, Height: 8, BytesPerTexel: 2, MipLevels: 1}
+	if got := noMips.Footprint(); got != 128 {
+		t.Errorf("single-level footprint = %d, want 128", got)
+	}
+	zeroLevels := trace.Texture{Width: 8, Height: 8, BytesPerTexel: 1, MipLevels: 0}
+	if got := zeroLevels.Footprint(); got != 64 {
+		t.Errorf("MipLevels=0 treated as 1: got %d, want 64", got)
+	}
+}
+
+func TestRenderTargetPixels(t *testing.T) {
+	rt := trace.RenderTarget{Width: 1920, Height: 1080, BytesPerPixel: 4}
+	if got := rt.Pixels(); got != 1920*1080 {
+		t.Errorf("Pixels = %d", got)
+	}
+}
+
+func TestPrimitivesByTopology(t *testing.T) {
+	cases := []struct {
+		topo  trace.Topology
+		verts int
+		want  int
+	}{
+		{trace.TriangleList, 9, 3},
+		{trace.TriangleList, 10, 3}, // partial primitive dropped
+		{trace.TriangleStrip, 5, 3},
+		{trace.TriangleStrip, 2, 0},
+		{trace.LineList, 8, 4},
+		{trace.PointList, 7, 7},
+		{trace.Topology(200), 9, 0},
+	}
+	for _, c := range cases {
+		d := trace.DrawCall{Topology: c.topo, VertexCount: c.verts}
+		if got := d.Primitives(); got != c.want {
+			t.Errorf("%v with %d verts: primitives = %d, want %d", c.topo, c.verts, got, c.want)
+		}
+	}
+}
+
+func TestTotalsWithInstancing(t *testing.T) {
+	d := trace.DrawCall{Topology: trace.TriangleList, VertexCount: 30, InstanceCount: 4}
+	if got := d.TotalVertices(); got != 120 {
+		t.Errorf("TotalVertices = %d", got)
+	}
+	if got := d.TotalPrimitives(); got != 40 {
+		t.Errorf("TotalPrimitives = %d", got)
+	}
+}
+
+func TestTopologyString(t *testing.T) {
+	if trace.TriangleList.String() != "trilist" || trace.PointList.String() != "pointlist" {
+		t.Error("topology names wrong")
+	}
+	if !strings.Contains(trace.Topology(99).String(), "99") {
+		t.Error("unknown topology should embed value")
+	}
+}
+
+func TestWorkloadResourceLookups(t *testing.T) {
+	w := tracetest.Tiny()
+	if _, err := w.Texture(1); err != nil {
+		t.Errorf("texture 1: %v", err)
+	}
+	if _, err := w.Texture(0); err == nil {
+		t.Error("texture id 0 should be invalid")
+	}
+	if _, err := w.Texture(trace.TextureID(len(w.Textures) + 1)); err == nil {
+		t.Error("out-of-range texture accepted")
+	}
+	if _, err := w.RenderTarget(1); err != nil {
+		t.Errorf("rt 1: %v", err)
+	}
+	if _, err := w.RenderTarget(0); err == nil {
+		t.Error("rt id 0 should be invalid")
+	}
+}
+
+func TestWorkloadCounts(t *testing.T) {
+	w := tracetest.Tiny()
+	if got := w.NumFrames(); got != 3 {
+		t.Errorf("NumFrames = %d", got)
+	}
+	if got := w.NumDraws(); got != 12 {
+		t.Errorf("NumDraws = %d", got)
+	}
+}

@@ -1,0 +1,59 @@
+package trace_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+// Property: texture footprint is monotone in dimensions, texel size
+// and mip count.
+func TestFootprintMonotoneProperty(t *testing.T) {
+	f := func(wRaw, hRaw, bRaw, mRaw uint8) bool {
+		w := int(wRaw%10) + 1
+		h := int(hRaw%10) + 1
+		bpt := int(bRaw%8) + 1
+		mips := int(mRaw % 12)
+		base := trace.Texture{Width: 1 << w, Height: 1 << h, BytesPerTexel: bpt, MipLevels: mips}
+		bigger := base
+		bigger.Width *= 2
+		deeper := base
+		deeper.MipLevels = mips + 1
+		fatter := base
+		fatter.BytesPerTexel++
+		fp := base.Footprint()
+		return fp > 0 &&
+			bigger.Footprint() > fp &&
+			deeper.Footprint() >= fp &&
+			fatter.Footprint() > fp
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: primitive counts never exceed vertex counts and respect
+// topology arithmetic.
+func TestPrimitivesBoundedProperty(t *testing.T) {
+	f := func(vRaw uint16, topoRaw, instRaw uint8) bool {
+		verts := int(vRaw) + 1
+		topo := trace.Topology(topoRaw % 4)
+		inst := int(instRaw%10) + 1
+		d := trace.DrawCall{VertexCount: verts, InstanceCount: inst, Topology: topo}
+		p := d.Primitives()
+		if p < 0 || p > verts {
+			return false
+		}
+		if d.TotalPrimitives() != int64(p)*int64(inst) {
+			return false
+		}
+		if d.TotalVertices() != int64(verts)*int64(inst) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,65 @@
+package trace_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/tracetest"
+)
+
+func TestSummarize(t *testing.T) {
+	w := tracetest.Tiny()
+	s := trace.Summarize(w)
+	if s.Name != "tiny" || s.Frames != 3 || s.Draws != 12 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.DrawsPerFrame != 4 {
+		t.Errorf("DrawsPerFrame = %v", s.DrawsPerFrame)
+	}
+	if s.MinDrawsFrame != 4 || s.MaxDrawsFrame != 4 {
+		t.Errorf("min/max draws = %d/%d", s.MinDrawsFrame, s.MaxDrawsFrame)
+	}
+	if s.UniqueVS != 2 || s.UniquePS != 2 {
+		t.Errorf("unique shaders = %d VS, %d PS", s.UniqueVS, s.UniquePS)
+	}
+	if s.UniqueMaterials != 3 {
+		t.Errorf("unique materials = %d", s.UniqueMaterials)
+	}
+	if len(s.Scenes) != 1 || s.Scenes[0] != "fixture" {
+		t.Errorf("scenes = %v", s.Scenes)
+	}
+	if s.TotalVertices <= 0 || s.TotalPrimitives <= 0 {
+		t.Error("totals not computed")
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	var buf bytes.Buffer
+	w := tracetest.Tiny()
+	trace.WriteTable(&buf, []*trace.Workload{w, w})
+	out := buf.String()
+	if !strings.Contains(out, "tiny") || !strings.Contains(out, "TOTAL") {
+		t.Errorf("table missing rows:\n%s", out)
+	}
+	if !strings.Contains(out, "24") { // total draws across two copies
+		t.Errorf("table missing total draws:\n%s", out)
+	}
+}
+
+func TestPixelShaderUsage(t *testing.T) {
+	w := tracetest.Tiny()
+	usage := trace.PixelShaderUsage(w)
+	if len(usage) != 2 {
+		t.Fatalf("usage entries = %d", len(usage))
+	}
+	// Each frame: 2 draws ps.textured, 2 draws ps.flat -> tie broken by id.
+	if usage[0].Draws < usage[1].Draws {
+		t.Error("usage not sorted descending")
+	}
+	total := usage[0].Draws + usage[1].Draws
+	if total != w.NumDraws() {
+		t.Errorf("usage total %d != draws %d", total, w.NumDraws())
+	}
+}

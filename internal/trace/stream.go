@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/shader"
+)
+
+// Header is a workload's frame-independent part: identity plus the
+// resource tables every draw references. It travels once at the front
+// of a frame stream.
+type Header struct {
+	Name          string
+	Shaders       []shader.Program
+	Textures      []Texture
+	RenderTargets []RenderTarget
+}
+
+// HeaderOf extracts the header of an in-memory workload.
+func HeaderOf(w *Workload) Header {
+	progs := w.Shaders.Programs()
+	flat := make([]shader.Program, len(progs))
+	for i, p := range progs {
+		flat[i] = *p
+	}
+	return Header{
+		Name:          w.Name,
+		Shaders:       flat,
+		Textures:      w.Textures,
+		RenderTargets: w.RenderTargets,
+	}
+}
+
+// Shell materializes a frameless Workload from the header — the
+// resource context streaming consumers (extractors, simulators) bind
+// against while frames flow past.
+func (h Header) Shell() (*Workload, error) {
+	progs := make([]*shader.Program, len(h.Shaders))
+	for i := range h.Shaders {
+		p := h.Shaders[i]
+		progs[i] = &p
+	}
+	reg, err := shader.RestoreRegistry(progs)
+	if err != nil {
+		return nil, fmt.Errorf("trace: stream header: %w", err)
+	}
+	if h.Name == "" {
+		return nil, fmt.Errorf("trace: stream header has empty name")
+	}
+	return &Workload{
+		Name:          h.Name,
+		Shaders:       reg,
+		Textures:      h.Textures,
+		RenderTargets: h.RenderTargets,
+	}, nil
+}
+
+// StreamEncoder writes a workload as header + one record per frame, so
+// arbitrarily long captures encode in bounded memory.
+type StreamEncoder struct {
+	enc    *gob.Encoder
+	frames int
+}
+
+// NewStreamEncoder writes the header immediately.
+func NewStreamEncoder(out io.Writer, h Header) (*StreamEncoder, error) {
+	enc := gob.NewEncoder(out)
+	if err := enc.Encode(h); err != nil {
+		return nil, fmt.Errorf("trace: encoding stream header: %w", err)
+	}
+	return &StreamEncoder{enc: enc}, nil
+}
+
+// WriteFrame appends one frame record.
+func (e *StreamEncoder) WriteFrame(f *Frame) error {
+	if err := e.enc.Encode(f); err != nil {
+		return fmt.Errorf("trace: encoding frame %d: %w", e.frames, err)
+	}
+	e.frames++
+	return nil
+}
+
+// Frames returns the number of frames written so far.
+func (e *StreamEncoder) Frames() int { return e.frames }
+
+// EncodeStream writes an entire in-memory workload in stream format —
+// the bridge from batch tooling to streaming consumers.
+func EncodeStream(out io.Writer, w *Workload) error {
+	enc, err := NewStreamEncoder(out, HeaderOf(w))
+	if err != nil {
+		return err
+	}
+	for i := range w.Frames {
+		if err := enc.WriteFrame(&w.Frames[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StreamDecoder reads header + frames written by StreamEncoder.
+type StreamDecoder struct {
+	dec    *gob.Decoder
+	shell  *Workload
+	frames int
+}
+
+// NewStreamDecoder reads and validates the header.
+func NewStreamDecoder(in io.Reader) (*StreamDecoder, error) {
+	dec := gob.NewDecoder(in)
+	var h Header
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("trace: decoding stream header: %w", err)
+	}
+	shell, err := h.Shell()
+	if err != nil {
+		return nil, err
+	}
+	return &StreamDecoder{dec: dec, shell: shell}, nil
+}
+
+// Shell returns the frameless workload the stream's frames belong to.
+// Callers must not append frames to it; it exists to resolve resources.
+func (d *StreamDecoder) Shell() *Workload { return d.shell }
+
+// NextFrame returns the next frame, validating its draws against the
+// shell's resource tables. It returns io.EOF after the last frame.
+func (d *StreamDecoder) NextFrame() (Frame, error) {
+	var f Frame
+	if err := d.dec.Decode(&f); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, fmt.Errorf("trace: decoding frame %d: %w", d.frames, err)
+	}
+	if len(f.Draws) == 0 {
+		return Frame{}, fmt.Errorf("trace: streamed frame %d has no draws", d.frames)
+	}
+	for di := range f.Draws {
+		if err := d.shell.validateDraw(&f.Draws[di]); err != nil {
+			return Frame{}, fmt.Errorf("trace: streamed frame %d draw %d: %w", d.frames, di, err)
+		}
+	}
+	d.frames++
+	return f, nil
+}
+
+// FramesRead returns how many frames have been decoded.
+func (d *StreamDecoder) FramesRead() int { return d.frames }

@@ -1,0 +1,127 @@
+package trace_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/tracetest"
+)
+
+func TestStreamRoundTrip(t *testing.T) {
+	w := tracetest.Tiny()
+	var buf bytes.Buffer
+	if err := trace.EncodeStream(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := trace.NewStreamDecoder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shell := dec.Shell()
+	if shell.Name != "tiny" || shell.Shaders.Len() != w.Shaders.Len() {
+		t.Fatalf("shell = %q with %d shaders", shell.Name, shell.Shaders.Len())
+	}
+	if len(shell.Frames) != 0 {
+		t.Fatal("shell should have no frames")
+	}
+	var frames []trace.Frame
+	for {
+		f, err := dec.NextFrame()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, f)
+	}
+	if len(frames) != w.NumFrames() {
+		t.Fatalf("streamed %d frames, want %d", len(frames), w.NumFrames())
+	}
+	if dec.FramesRead() != w.NumFrames() {
+		t.Errorf("FramesRead = %d", dec.FramesRead())
+	}
+	for fi := range frames {
+		if len(frames[fi].Draws) != len(w.Frames[fi].Draws) {
+			t.Fatalf("frame %d draw count changed", fi)
+		}
+		if frames[fi].Draws[0].VertexCount != w.Frames[fi].Draws[0].VertexCount {
+			t.Fatalf("frame %d content changed", fi)
+		}
+	}
+}
+
+func TestStreamEncoderIncremental(t *testing.T) {
+	w := tracetest.Tiny()
+	var buf bytes.Buffer
+	enc, err := trace.NewStreamEncoder(&buf, trace.HeaderOf(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Frames {
+		if err := enc.WriteFrame(&w.Frames[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if enc.Frames() != 3 {
+		t.Errorf("Frames() = %d", enc.Frames())
+	}
+	dec, err := trace.NewStreamDecoder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		if _, err := dec.NextFrame(); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 3 {
+		t.Errorf("decoded %d frames", n)
+	}
+}
+
+func TestStreamDecoderValidatesFrames(t *testing.T) {
+	w := tracetest.Tiny()
+	w.Frames[1].Draws[0].CoverageFrac = 9 // invalid, but Validate not run by EncodeStream path below
+	var buf bytes.Buffer
+	enc, err := trace.NewStreamEncoder(&buf, trace.HeaderOf(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Frames {
+		if err := enc.WriteFrame(&w.Frames[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec, err := trace.NewStreamDecoder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.NextFrame(); err != nil {
+		t.Fatalf("frame 0 should decode: %v", err)
+	}
+	if _, err := dec.NextFrame(); err == nil {
+		t.Fatal("corrupt frame 1 accepted")
+	}
+}
+
+func TestStreamDecoderRejectsGarbage(t *testing.T) {
+	if _, err := trace.NewStreamDecoder(strings.NewReader("garbage")); err == nil {
+		t.Error("garbage header accepted")
+	}
+}
+
+func TestHeaderShellErrors(t *testing.T) {
+	h := trace.Header{Name: ""}
+	if _, err := h.Shell(); err == nil {
+		t.Error("empty-name header accepted")
+	}
+}

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/shader"
+)
+
+// Validate checks referential and value integrity of the workload:
+// every draw references registered shaders of the right stage, valid
+// resource ids, and carries in-range screen-space measurements.
+// The first problem found is returned with its frame/draw coordinates.
+func (w *Workload) Validate() error {
+	if w.Name == "" {
+		return fmt.Errorf("trace: workload has empty name")
+	}
+	if w.Shaders == nil {
+		return fmt.Errorf("trace: workload %q has nil shader registry", w.Name)
+	}
+	if len(w.Frames) == 0 {
+		return fmt.Errorf("trace: workload %q has no frames", w.Name)
+	}
+	for fi := range w.Frames {
+		f := &w.Frames[fi]
+		if len(f.Draws) == 0 {
+			return fmt.Errorf("trace: %q frame %d has no draws", w.Name, fi)
+		}
+		for di := range f.Draws {
+			if err := w.validateDraw(&f.Draws[di]); err != nil {
+				return fmt.Errorf("trace: %q frame %d draw %d: %w", w.Name, fi, di, err)
+			}
+		}
+	}
+	return nil
+}
+
+func (w *Workload) validateDraw(d *DrawCall) error {
+	if d.VertexCount <= 0 {
+		return fmt.Errorf("vertex count %d <= 0", d.VertexCount)
+	}
+	if d.InstanceCount <= 0 {
+		return fmt.Errorf("instance count %d <= 0", d.InstanceCount)
+	}
+	vs, err := w.Shaders.Lookup(d.VS)
+	if err != nil {
+		return fmt.Errorf("vertex shader: %w", err)
+	}
+	if vs.Stage != shader.StageVertex {
+		return fmt.Errorf("shader %d bound as VS has stage %v", d.VS, vs.Stage)
+	}
+	ps, err := w.Shaders.Lookup(d.PS)
+	if err != nil {
+		return fmt.Errorf("pixel shader: %w", err)
+	}
+	if ps.Stage != shader.StagePixel {
+		return fmt.Errorf("shader %d bound as PS has stage %v", d.PS, ps.Stage)
+	}
+	// Every texture slot the pixel shader samples must be bound.
+	for _, slot := range ps.TextureSlots() {
+		if slot >= len(d.Textures) || d.Textures[slot] == 0 {
+			return fmt.Errorf("pixel shader %d samples slot %d which is unbound", d.PS, slot)
+		}
+	}
+	for slot, tid := range d.Textures {
+		if tid == 0 {
+			continue
+		}
+		if _, err := w.Texture(tid); err != nil {
+			return fmt.Errorf("slot %d: %w", slot, err)
+		}
+	}
+	if _, err := w.RenderTarget(d.RT); err != nil {
+		return err
+	}
+	if d.CoverageFrac < 0 || d.CoverageFrac > 1 {
+		return fmt.Errorf("coverage %v outside [0, 1]", d.CoverageFrac)
+	}
+	if d.Overdraw < 1 {
+		return fmt.Errorf("overdraw %v < 1", d.Overdraw)
+	}
+	if d.TexLocality <= 0 || d.TexLocality > 1 {
+		return fmt.Errorf("texture locality %v outside (0, 1]", d.TexLocality)
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/tracetest"
+)
+
+func TestValidateAcceptsFixture(t *testing.T) {
+	if err := tracetest.Tiny().Validate(); err != nil {
+		t.Fatalf("fixture should validate: %v", err)
+	}
+}
+
+// corrupt applies f to a fresh fixture and asserts Validate fails with
+// a message containing wantSub.
+func corrupt(t *testing.T, wantSub string, f func(w *trace.Workload)) {
+	t.Helper()
+	w := tracetest.Tiny()
+	f(w)
+	err := w.Validate()
+	if err == nil {
+		t.Fatalf("corruption %q not detected", wantSub)
+	}
+	if !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("error %q does not mention %q", err, wantSub)
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	corrupt(t, "empty name", func(w *trace.Workload) { w.Name = "" })
+	corrupt(t, "no frames", func(w *trace.Workload) { w.Frames = nil })
+	corrupt(t, "no draws", func(w *trace.Workload) { w.Frames[1].Draws = nil })
+	corrupt(t, "vertex count", func(w *trace.Workload) { w.Frames[0].Draws[0].VertexCount = 0 })
+	corrupt(t, "instance count", func(w *trace.Workload) { w.Frames[0].Draws[0].InstanceCount = -1 })
+	corrupt(t, "vertex shader", func(w *trace.Workload) { w.Frames[0].Draws[0].VS = 999 })
+	corrupt(t, "pixel shader", func(w *trace.Workload) { w.Frames[0].Draws[0].PS = 999 })
+	corrupt(t, "bound as VS", func(w *trace.Workload) {
+		// Bind a pixel shader in the VS slot.
+		w.Frames[0].Draws[0].VS = w.Frames[0].Draws[0].PS
+	})
+	corrupt(t, "unbound", func(w *trace.Workload) {
+		// Draw 0 binds ps.textured which samples slots 0 and 1.
+		w.Frames[0].Draws[0].Textures = nil
+	})
+	corrupt(t, "texture id", func(w *trace.Workload) {
+		w.Frames[0].Draws[0].Textures = []trace.TextureID{1, 99}
+	})
+	corrupt(t, "render target", func(w *trace.Workload) { w.Frames[0].Draws[0].RT = 5 })
+	corrupt(t, "coverage", func(w *trace.Workload) { w.Frames[0].Draws[0].CoverageFrac = 1.5 })
+	corrupt(t, "overdraw", func(w *trace.Workload) { w.Frames[0].Draws[0].Overdraw = 0.5 })
+	corrupt(t, "locality", func(w *trace.Workload) { w.Frames[0].Draws[0].TexLocality = 0 })
+}
+
+func TestValidateReportsCoordinates(t *testing.T) {
+	w := tracetest.Tiny()
+	w.Frames[2].Draws[3].VertexCount = -5
+	err := w.Validate()
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "frame 2 draw 3") {
+		t.Errorf("error lacks coordinates: %v", err)
+	}
+}
