@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: tier1 vet build test fuzz-seeds bench clean
+
+# tier1 is the merge gate: vet, build, race-enabled tests, and every
+# fuzz target replayed over its seed corpus (without -fuzz the seeds
+# run as ordinary tests — deterministic, no open-ended fuzzing in CI).
+tier1: vet build test fuzz-seeds
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+fuzz-seeds:
+	$(GO) test -run Fuzz -v ./internal/trace/
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+clean:
+	$(GO) clean ./...

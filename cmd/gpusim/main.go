@@ -9,9 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/charz"
 	"repro/internal/dcmath"
@@ -26,6 +29,7 @@ func main() {
 		mem       = flag.Float64("mem", 1.0, "memory clock in GHz")
 		perFrame  = flag.Bool("frames", false, "print per-frame times")
 		breakdown = flag.Bool("breakdown", false, "print workload characterization (bottlenecks, traffic)")
+		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	)
 	flag.Parse()
 	if *tracePath == "" {
@@ -33,13 +37,20 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*tracePath, *core, *mem, *perFrame, *breakdown); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx, *tracePath, *core, *mem, *perFrame, *breakdown); err != nil {
 		fmt.Fprintln(os.Stderr, "gpusim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, core, mem float64, perFrame, breakdown bool) error {
+func run(ctx context.Context, path string, core, mem float64, perFrame, breakdown bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -54,7 +65,10 @@ func run(path string, core, mem float64, perFrame, breakdown bool) error {
 	if err != nil {
 		return err
 	}
-	res := sim.Run()
+	res, err := sim.RunContext(ctx)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("workload  %s (%d frames, %d draws)\n", w.Name, w.NumFrames(), w.NumDraws())
 	fmt.Printf("config    %s (core %.2f GHz, mem %.2f GHz, %.1f GB/s)\n",
 		cfg.Name, cfg.CoreClockGHz, cfg.MemClockGHz, cfg.BandwidthGBs())

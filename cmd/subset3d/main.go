@@ -5,18 +5,27 @@
 // Usage:
 //
 //	subset3d -trace game.trace [-threshold 0.5] [-interval 4] [-fast]
-//	subset3d -stream game.stream
+//	subset3d -stream game.stream [-lenient] [-timeout 30s]
 //
 // -fast skips the per-frame clustering evaluation (the expensive part)
 // and only builds and validates the subset. -stream consumes a
 // frame-stream trace in one bounded-memory pass (no evaluation or
 // validation sweep — the parent never exists in memory).
+//
+// -lenient ingests damaged captures gracefully: corrupt records are
+// resynced past, invalid frames and draws dropped, and the run ends
+// with a diagnostics summary instead of an error. Without it the first
+// problem aborts the run. -timeout bounds the whole run; Ctrl-C
+// cancels it the same way.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/stream"
@@ -30,6 +39,8 @@ func main() {
 		interval  = flag.Int("interval", core.DefaultOptions().Subset.Phase.IntervalFrames, "phase detection interval (frames)")
 		fast      = flag.Bool("fast", false, "skip per-frame clustering evaluation")
 		streamIn  = flag.String("stream", "", "frame-stream trace to subset in one bounded-memory pass")
+		lenient   = flag.Bool("lenient", false, "skip damaged records/frames and report diagnostics instead of failing")
+		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	)
 	flag.Parse()
 	if (*tracePath == "") == (*streamIn == "") {
@@ -37,11 +48,20 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	var err error
 	if *streamIn != "" {
-		err = runStream(*streamIn, *threshold, *interval)
+		err = runStream(ctx, *streamIn, *threshold, *interval, *lenient)
 	} else {
-		err = run(*tracePath, *threshold, *interval, *fast)
+		err = run(ctx, *tracePath, *threshold, *interval, *fast, *lenient)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "subset3d:", err)
@@ -49,25 +69,29 @@ func main() {
 	}
 }
 
-func runStream(path string, threshold float64, interval int) error {
+func runStream(ctx context.Context, path string, threshold float64, interval int, lenient bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	dec, err := trace.NewStreamDecoder(f)
+	r, err := trace.NewStreamReader(f, trace.ReaderOptions{Lenient: lenient})
 	if err != nil {
 		return err
 	}
 	opt := stream.DefaultOptions()
 	opt.Method.Threshold = threshold
 	opt.Phase.IntervalFrames = interval
-	res, err := stream.Run(dec, opt)
+	opt.Lenient = lenient
+	res, err := stream.RunContext(ctx, r, opt)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("workload %s (streamed): %d frames, %d draws\n",
-		dec.Shell().Name, res.ParentFrames, res.ParentDraws)
+	fmt.Printf("workload %s (streamed, format v%d): %d frames, %d draws\n",
+		r.Shell().Name, r.Version(), res.ParentFrames, res.ParentDraws)
+	if lenient {
+		fmt.Printf("ingestion: %v\n", res.Diagnostics)
+	}
 	fmt.Printf("phases: %d  timeline %s\n", res.NumPhases, res.Timeline)
 	n := 0
 	for i := range res.Frames {
@@ -78,7 +102,7 @@ func runStream(path string, threshold float64, interval int) error {
 	return nil
 }
 
-func run(path string, threshold float64, interval int, fast bool) error {
+func run(ctx context.Context, path string, threshold float64, interval int, fast, lenient bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -92,11 +116,12 @@ func run(path string, threshold float64, interval int, fast bool) error {
 	opt.Subset.Method.Threshold = threshold
 	opt.Subset.Phase.IntervalFrames = interval
 	opt.SkipClusteringEval = fast
+	opt.Lenient = lenient
 	s, err := core.New(opt)
 	if err != nil {
 		return err
 	}
-	rep, err := s.Run(w)
+	rep, err := s.RunContext(ctx, w)
 	if err != nil {
 		return err
 	}

@@ -3,37 +3,54 @@
 // Usage:
 //
 //	tracegen -out dir [-seed 42] [-game bioshock1|bioshock2|bioshockinf|suite] [-json]
+//	tracegen -out dir -inject-faults flip:4096,tear:16384:64 [-inject-seed 7]
 //
 // It writes one .trace (gob) file per game — plus .json when -json is
-// set — and prints the corpus summary table.
+// set — and prints the corpus summary table. -inject-faults
+// additionally writes a deliberately damaged .faulty.stream per game
+// (bit flips, zero runs, tears, truncation — see internal/faultinject)
+// for end-to-end ingestion drills against subset3d -lenient.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
+	"repro/internal/faultinject"
 	"repro/internal/synth"
 	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		out    = flag.String("out", ".", "output directory")
-		seed   = flag.Uint64("seed", 42, "generator seed")
-		game   = flag.String("game", "suite", "game profile: bioshock1, bioshock2, bioshockinf or suite")
-		asJS   = flag.Bool("json", false, "additionally write JSON alongside the binary trace")
-		stream = flag.Bool("stream", false, "additionally write the frame-stream format (.stream)")
+		out        = flag.String("out", ".", "output directory")
+		seed       = flag.Uint64("seed", 42, "generator seed")
+		game       = flag.String("game", "suite", "game profile: bioshock1, bioshock2, bioshockinf or suite")
+		asJS       = flag.Bool("json", false, "additionally write JSON alongside the binary trace")
+		stream     = flag.Bool("stream", false, "additionally write the frame-stream format (.stream)")
+		faults     = flag.String("inject-faults", "", "additionally write a damaged .faulty.stream using this fault spec (e.g. flip:4096,tear:16384:64,truncate:100000)")
+		faultsSeed = flag.Uint64("inject-seed", 1, "fault injection seed")
 	)
 	flag.Parse()
-	if err := run(*out, *seed, *game, *asJS, *stream); err != nil {
+	var spec faultinject.Spec
+	if *faults != "" {
+		var err error
+		if spec, err = faultinject.ParseSpec(*faults); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(2)
+		}
+		spec.Seed = *faultsSeed
+	}
+	if err := run(*out, *seed, *game, *asJS, *stream, spec); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, seed uint64, game string, asJSON, asStream bool) error {
+func run(out string, seed uint64, game string, asJSON, asStream bool, spec faultinject.Spec) error {
 	var profiles []synth.Profile
 	switch game {
 	case "suite":
@@ -71,10 +88,17 @@ func run(out string, seed uint64, game string, asJSON, asStream bool) error {
 		}
 		if asStream {
 			spath := filepath.Join(out, w.Name+".stream")
-			if err := writeStream(w, spath); err != nil {
+			if err := writeStream(w, spath, faultinject.Spec{}); err != nil {
 				return err
 			}
 			fmt.Printf("wrote %s\n", spath)
+		}
+		if spec.Active() {
+			fpath := filepath.Join(out, w.Name+".faulty.stream")
+			if err := writeStream(w, fpath, spec); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (faults injected)\n", fpath)
 		}
 	}
 	trace.WriteTable(os.Stdout, workloads)
@@ -105,13 +129,19 @@ func writeJSON(w *trace.Workload, path string) error {
 	return f.Close()
 }
 
-func writeStream(w *trace.Workload, path string) error {
+func writeStream(w *trace.Workload, path string, spec faultinject.Spec) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	if err := trace.EncodeStream(f, w); err != nil {
+	var sink io.Writer = f
+	if spec.Active() {
+		// The encoder writes through the corruptor — the damage lands
+		// on disk exactly as a faulty storage layer would leave it.
+		sink = faultinject.NewWriter(f, spec)
+	}
+	if err := trace.EncodeStream(sink, w); err != nil {
 		return err
 	}
 	return f.Close()

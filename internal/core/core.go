@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -27,6 +28,7 @@ import (
 	"repro/internal/subset"
 	"repro/internal/sweep"
 	"repro/internal/trace"
+	"repro/internal/traceerr"
 )
 
 // Options configures the full pipeline.
@@ -49,6 +51,12 @@ type Options struct {
 	// (which prices every draw of every frame — the expensive part)
 	// when only the subset is wanted.
 	SkipClusteringEval bool
+
+	// Lenient makes Run sanitize a damaged workload — dropping invalid
+	// draws and unusable frames, accounted in the report's Diagnostics
+	// — instead of rejecting it outright. The run still fails if
+	// nothing usable survives.
+	Lenient bool
 }
 
 // DefaultOptions returns the experiment configuration.
@@ -102,16 +110,63 @@ type Report struct {
 	// validation was disabled).
 	Validation sweep.Result
 	Validated  bool
+
+	// Diagnostics accounts for draws and frames dropped by lenient
+	// sanitization. Zero on clean inputs and in strict mode.
+	Diagnostics traceerr.Diagnostics
 }
 
 // Run executes the pipeline on one workload.
 func (s *Subsetter) Run(w *trace.Workload) (*Report, error) {
-	if err := w.Validate(); err != nil {
+	return s.RunContext(context.Background(), w)
+}
+
+// sanitize drops invalid draws and unusable frames from w in place,
+// returning the accounting. It fails only when nothing usable remains.
+func sanitize(w *trace.Workload) (traceerr.Diagnostics, error) {
+	var diag traceerr.Diagnostics
+	if w.Name == "" || w.Shaders == nil {
+		return diag, fmt.Errorf("core: workload beyond repair: %w", w.Validate())
+	}
+	kept := w.Frames[:0]
+	for fi := range w.Frames {
+		f := &w.Frames[fi]
+		dropped, _ := w.SanitizeFrame(f)
+		diag.DrawsDropped += dropped
+		if len(f.Draws) == 0 {
+			diag.FramesSkipped++
+			continue
+		}
+		kept = append(kept, *f)
+	}
+	w.Frames = kept
+	if len(w.Frames) == 0 {
+		return diag, fmt.Errorf("core: no usable frames survive sanitization (%v): %w",
+			diag, traceerr.ErrInvalidFrame)
+	}
+	return diag, nil
+}
+
+// RunContext executes the pipeline on one workload, honoring
+// cancellation between pipeline stages and inside the validation
+// sweep. In lenient mode a damaged workload is sanitized first.
+func (s *Subsetter) RunContext(ctx context.Context, w *trace.Workload) (*Report, error) {
+	rep := &Report{}
+	if s.opt.Lenient {
+		diag, err := sanitize(w)
+		if err != nil {
+			return nil, err
+		}
+		rep.Diagnostics = diag
+	} else if err := w.Validate(); err != nil {
 		return nil, err
 	}
-	rep := &Report{Summary: trace.Summarize(w)}
+	rep.Summary = trace.Summarize(w)
 
 	if !s.opt.SkipClusteringEval {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: canceled before clustering evaluation: %w", err)
+		}
 		sim, err := gpu.NewSimulator(s.opt.Oracle, w)
 		if err != nil {
 			return nil, err
@@ -127,6 +182,9 @@ func (s *Subsetter) Run(w *trace.Workload) (*Report, error) {
 		rep.Clustering = &wr
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: canceled before subset build: %w", err)
+	}
 	sub, err := subset.Build(w, s.opt.Subset)
 	if err != nil {
 		return nil, err
@@ -139,7 +197,7 @@ func (s *Subsetter) Run(w *trace.Workload) (*Report, error) {
 	rep.SizeRatio = sub.SizeRatio()
 
 	if len(s.opt.ValidationClocks) >= 2 {
-		res, err := sweep.Run(w, sub, sweep.CoreClockSweep(s.opt.Oracle, s.opt.ValidationClocks))
+		res, err := sweep.RunContext(ctx, w, sub, sweep.CoreClockSweep(s.opt.Oracle, s.opt.ValidationClocks))
 		if err != nil {
 			return nil, err
 		}
@@ -161,6 +219,9 @@ func (r *Report) Render(out io.Writer) {
 		fmt.Fprintf(out, "clustering: mean prediction error %.2f%%, efficiency %.1f%%, outliers %.1f%% (max frame error %.2f%%)\n",
 			r.Clustering.MeanError*100, r.Clustering.MeanEfficiency*100,
 			r.Clustering.OutlierRate*100, r.Clustering.MaxError*100)
+	}
+	if r.Diagnostics.Any() {
+		fmt.Fprintf(out, "degraded: %v\n", r.Diagnostics)
 	}
 	fmt.Fprintf(out, "phases: %d across %d intervals  timeline %s\n",
 		r.Detection.NumPhases, len(r.Detection.Intervals), r.Detection.Timeline())

@@ -1,0 +1,16 @@
+package dcmath
+
+import "fmt"
+
+// Mustf is the shared invariant guard: it panics with a formatted
+// message when cond is false. Use it only for caller-misuse invariants
+// — conditions that hold by construction in correct programs (applying
+// an unfitted normalizer, indexing outside experiment wiring) — never
+// for runtime input, which must surface as errors. The panic message
+// is part of the contract: it names the package and the violated
+// invariant so the misuse is attributable from the stack alone.
+func Mustf(cond bool, format string, args ...any) {
+	if !cond {
+		panic(fmt.Sprintf("invariant violated: "+format, args...))
+	}
+}

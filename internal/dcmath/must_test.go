@@ -1,0 +1,28 @@
+package dcmath
+
+import (
+	"testing"
+)
+
+func TestMustfHoldsQuietly(t *testing.T) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Mustf panicked on true condition: %v", r)
+		}
+	}()
+	Mustf(true, "never shown %d", 1)
+}
+
+func TestMustfPanicMessage(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Mustf did not panic on false condition")
+		}
+		want := "invariant violated: widget 3 of 2"
+		if r != want {
+			t.Fatalf("panic = %q, want %q", r, want)
+		}
+	}()
+	Mustf(false, "widget %d of %d", 3, 2)
+}

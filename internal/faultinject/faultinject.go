@@ -1,0 +1,248 @@
+// Package faultinject corrupts byte streams deterministically, for
+// drilling the ingestion stack against the failure modes fleets
+// actually see: bit rot (single-bit flips), torn writes (byte ranges
+// missing), zeroed sectors, truncated captures and short reads.
+//
+// All faults are scheduled by a seeded PRNG over byte offsets, so a
+// given (Spec, input) pair always produces the same damage — tests and
+// end-to-end drills (tracegen -inject-faults) are reproducible.
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"strconv"
+	"strings"
+)
+
+// Spec describes a deterministic fault pattern. Gaps are mean byte
+// distances between fault events; zero disables that fault.
+type Spec struct {
+	Seed uint64
+
+	FlipEvery int64 // mean gap between single-bit flips
+	ZeroEvery int64 // mean gap between zero runs
+	ZeroRun   int   // bytes zeroed per run (default 16)
+	TearEvery int64 // mean gap between torn-out ranges
+	TearLen   int   // bytes dropped per tear (default 32)
+
+	// TruncateAfter cuts the stream after this many output bytes.
+	TruncateAfter int64
+
+	// ShortReads makes Reader deliver data in small random chunks,
+	// exercising callers' partial-read handling. It corrupts nothing.
+	ShortReads bool
+}
+
+// Active reports whether the spec injects any fault at all.
+func (s Spec) Active() bool {
+	return s.FlipEvery > 0 || s.ZeroEvery > 0 || s.TearEvery > 0 ||
+		s.TruncateAfter > 0 || s.ShortReads
+}
+
+// ParseSpec parses a CLI fault spec: comma-separated clauses
+//
+//	flip:GAP        single-bit flips every ~GAP bytes
+//	zero:GAP[:LEN]  LEN-byte zero runs every ~GAP bytes
+//	tear:GAP[:LEN]  LEN-byte tears every ~GAP bytes
+//	truncate:N      cut the stream after N bytes
+//	shortreads      deliver short reads
+//
+// e.g. "flip:4096,tear:16384:64,truncate:100000".
+func ParseSpec(s string) (Spec, error) {
+	var spec Spec
+	spec.ZeroRun = 16
+	spec.TearLen = 32
+	if strings.TrimSpace(s) == "" {
+		return spec, fmt.Errorf("faultinject: empty spec")
+	}
+	for _, clause := range strings.Split(s, ",") {
+		parts := strings.Split(strings.TrimSpace(clause), ":")
+		args := make([]int64, 0, 2)
+		for _, p := range parts[1:] {
+			v, err := strconv.ParseInt(p, 10, 64)
+			if err != nil || v <= 0 {
+				return Spec{}, fmt.Errorf("faultinject: bad argument %q in clause %q", p, clause)
+			}
+			args = append(args, v)
+		}
+		switch kind := parts[0]; {
+		case kind == "flip" && len(args) == 1:
+			spec.FlipEvery = args[0]
+		case kind == "zero" && (len(args) == 1 || len(args) == 2):
+			spec.ZeroEvery = args[0]
+			if len(args) == 2 {
+				spec.ZeroRun = int(args[1])
+			}
+		case kind == "tear" && (len(args) == 1 || len(args) == 2):
+			spec.TearEvery = args[0]
+			if len(args) == 2 {
+				spec.TearLen = int(args[1])
+			}
+		case kind == "truncate" && len(args) == 1:
+			spec.TruncateAfter = args[0]
+		case kind == "shortreads" && len(args) == 0:
+			spec.ShortReads = true
+		default:
+			return Spec{}, fmt.Errorf("faultinject: unknown clause %q (want flip:N, zero:N[:L], tear:N[:L], truncate:N, shortreads)", clause)
+		}
+	}
+	return spec, nil
+}
+
+// corruptor applies a Spec to a byte stream one chunk at a time.
+type corruptor struct {
+	spec   Spec
+	rng    *rand.Rand
+	inOff  int64
+	outOff int64
+
+	nextFlip, nextZero, nextTear int64
+	zeroLeft, tearLeft           int
+	truncated                    bool
+}
+
+func newCorruptor(spec Spec) *corruptor {
+	if spec.ZeroRun <= 0 {
+		spec.ZeroRun = 16
+	}
+	if spec.TearLen <= 0 {
+		spec.TearLen = 32
+	}
+	c := &corruptor{
+		spec: spec,
+		rng:  rand.New(rand.NewPCG(spec.Seed, spec.Seed^0x9e3779b97f4a7c15)),
+	}
+	c.nextFlip = c.gap(spec.FlipEvery, 0)
+	c.nextZero = c.gap(spec.ZeroEvery, 0)
+	c.nextTear = c.gap(spec.TearEvery, 0)
+	return c
+}
+
+// gap schedules the next event after `from` with mean distance `every`
+// (-1 = never).
+func (c *corruptor) gap(every, from int64) int64 {
+	if every <= 0 {
+		return -1
+	}
+	return from + 1 + c.rng.Int64N(2*every)
+}
+
+// process corrupts b in place and returns the surviving bytes (tears
+// and truncation shorten the output).
+func (c *corruptor) process(b []byte) []byte {
+	out := b[:0]
+	for i := range b {
+		if c.truncated {
+			break
+		}
+		off := c.inOff
+		c.inOff++
+		if c.tearLeft > 0 {
+			c.tearLeft--
+			continue
+		}
+		if off == c.nextTear {
+			c.tearLeft = c.spec.TearLen - 1
+			c.nextTear = c.gap(c.spec.TearEvery, off)
+			continue
+		}
+		v := b[i]
+		if c.zeroLeft > 0 {
+			c.zeroLeft--
+			v = 0
+		} else if off == c.nextZero {
+			c.zeroLeft = c.spec.ZeroRun - 1
+			c.nextZero = c.gap(c.spec.ZeroEvery, off)
+			v = 0
+		}
+		if off >= c.nextFlip && c.nextFlip >= 0 {
+			v ^= 1 << c.rng.IntN(8)
+			c.nextFlip = c.gap(c.spec.FlipEvery, off)
+		}
+		out = append(out, v)
+		c.outOff++
+		if c.spec.TruncateAfter > 0 && c.outOff >= c.spec.TruncateAfter {
+			c.truncated = true
+		}
+	}
+	return out
+}
+
+// Reader wraps r and corrupts everything read through it.
+type Reader struct {
+	r    io.Reader
+	c    *corruptor
+	done bool
+}
+
+// NewReader returns a corrupting reader over r.
+func NewReader(r io.Reader, spec Spec) *Reader {
+	return &Reader{r: r, c: newCorruptor(spec)}
+}
+
+// Read implements io.Reader.
+func (f *Reader) Read(p []byte) (int, error) {
+	if f.done || len(p) == 0 {
+		return 0, io.EOF
+	}
+	limit := len(p)
+	if f.c.spec.ShortReads {
+		if limit = 1 + f.c.rng.IntN(len(p)); limit > len(p) {
+			limit = len(p)
+		}
+	}
+	for {
+		n, err := f.r.Read(p[:limit])
+		kept := f.c.process(p[:n])
+		if f.c.truncated {
+			f.done = true
+			if len(kept) == 0 {
+				return 0, io.EOF
+			}
+			return len(kept), nil
+		}
+		if len(kept) > 0 || err != nil {
+			return len(kept), err
+		}
+		// Everything read was torn out; read more before reporting 0.
+	}
+}
+
+// Writer wraps w and corrupts everything written through it.
+type Writer struct {
+	w io.Writer
+	c *corruptor
+}
+
+// NewWriter returns a corrupting writer over w.
+func NewWriter(w io.Writer, spec Spec) *Writer {
+	return &Writer{w: w, c: newCorruptor(spec)}
+}
+
+// Write implements io.Writer. It reports the full input length as
+// written even when faults shortened the output — the corruption must
+// stay invisible to the producer, exactly like real bit rot.
+func (f *Writer) Write(p []byte) (int, error) {
+	if f.c.truncated {
+		return len(p), nil
+	}
+	scratch := make([]byte, len(p))
+	copy(scratch, p)
+	kept := f.c.process(scratch)
+	if len(kept) > 0 {
+		if _, err := f.w.Write(kept); err != nil {
+			return 0, err
+		}
+	}
+	return len(p), nil
+}
+
+// Corrupt runs data through the spec in one shot — the convenience
+// form for tests.
+func Corrupt(data []byte, spec Spec) []byte {
+	scratch := make([]byte, len(data))
+	copy(scratch, data)
+	return newCorruptor(spec).process(scratch)
+}

@@ -1,0 +1,201 @@
+package faultinject_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/trace"
+	"repro/internal/tracetest"
+)
+
+func pattern(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i * 31)
+	}
+	return b
+}
+
+func TestDeterministic(t *testing.T) {
+	in := pattern(10000)
+	spec := faultinject.Spec{Seed: 7, FlipEvery: 512, ZeroEvery: 2048, TearEvery: 4096}
+	a := faultinject.Corrupt(in, spec)
+	b := faultinject.Corrupt(in, spec)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different corruption")
+	}
+	spec.Seed = 8
+	c := faultinject.Corrupt(in, spec)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical corruption")
+	}
+}
+
+func TestBitFlipsChangeBytesKeepLength(t *testing.T) {
+	in := pattern(10000)
+	out := faultinject.Corrupt(in, faultinject.Spec{Seed: 1, FlipEvery: 256})
+	if len(out) != len(in) {
+		t.Fatalf("flips changed length: %d -> %d", len(in), len(out))
+	}
+	diffs := 0
+	for i := range in {
+		if in[i] != out[i] {
+			diffs++
+			// A flip touches exactly one bit.
+			if x := in[i] ^ out[i]; x&(x-1) != 0 {
+				t.Fatalf("byte %d changed by more than one bit: %02x -> %02x", i, in[i], out[i])
+			}
+		}
+	}
+	if diffs < 10 || diffs > 100 {
+		t.Errorf("%d bytes flipped over 10000 at mean gap 256 — scheduling broken", diffs)
+	}
+}
+
+func TestTearShortensStream(t *testing.T) {
+	in := pattern(10000)
+	out := faultinject.Corrupt(in, faultinject.Spec{Seed: 2, TearEvery: 2000, TearLen: 50})
+	if len(out) >= len(in) {
+		t.Fatalf("tears did not shorten: %d -> %d", len(in), len(out))
+	}
+	if missing := len(in) - len(out); missing%50 != 0 {
+		t.Errorf("missing %d bytes, want a multiple of TearLen 50", missing)
+	}
+}
+
+func TestZeroRuns(t *testing.T) {
+	in := bytes.Repeat([]byte{0xff}, 10000)
+	out := faultinject.Corrupt(in, faultinject.Spec{Seed: 3, ZeroEvery: 2000, ZeroRun: 32})
+	zeros := bytes.Count(out, []byte{0})
+	if zeros == 0 || zeros%32 != 0 {
+		t.Errorf("%d zero bytes, want a positive multiple of 32", zeros)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	in := pattern(10000)
+	out := faultinject.Corrupt(in, faultinject.Spec{Seed: 4, TruncateAfter: 1234})
+	if len(out) != 1234 {
+		t.Fatalf("truncated to %d bytes, want 1234", len(out))
+	}
+	if !bytes.Equal(out, in[:1234]) {
+		t.Error("truncation alone must not alter surviving bytes")
+	}
+}
+
+func TestReaderMatchesCorrupt(t *testing.T) {
+	in := pattern(50000)
+	spec := faultinject.Spec{Seed: 5, FlipEvery: 777, TearEvery: 3000, ZeroEvery: 5000}
+	want := faultinject.Corrupt(in, spec)
+	got, err := io.ReadAll(faultinject.NewReader(bytes.NewReader(in), spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("Reader and Corrupt disagree for the same spec")
+	}
+}
+
+func TestWriterMatchesCorrupt(t *testing.T) {
+	in := pattern(50000)
+	spec := faultinject.Spec{Seed: 5, FlipEvery: 777, TearEvery: 3000, TruncateAfter: 40000}
+	want := faultinject.Corrupt(in, spec)
+	var sink bytes.Buffer
+	w := faultinject.NewWriter(&sink, spec)
+	for chunk := 0; chunk < len(in); chunk += 997 {
+		end := chunk + 997
+		if end > len(in) {
+			end = len(in)
+		}
+		if n, err := w.Write(in[chunk:end]); err != nil || n != end-chunk {
+			t.Fatalf("Write = (%d, %v)", n, err)
+		}
+	}
+	if !bytes.Equal(sink.Bytes(), want) {
+		t.Fatal("Writer and Corrupt disagree for the same spec")
+	}
+}
+
+func TestShortReads(t *testing.T) {
+	in := pattern(4096)
+	r := faultinject.NewReader(bytes.NewReader(in), faultinject.Spec{Seed: 6, ShortReads: true})
+	out := make([]byte, 0, len(in))
+	buf := make([]byte, 512)
+	sawShort := false
+	for {
+		n, err := r.Read(buf)
+		if n > 0 && n < len(buf) {
+			sawShort = true
+		}
+		out = append(out, buf[:n]...)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(out, in) {
+		t.Fatal("short reads corrupted data")
+	}
+	if !sawShort {
+		t.Error("no short read ever delivered")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	spec, err := faultinject.ParseSpec("flip:4096,zero:8192:24,tear:16384:64,truncate:100000,shortreads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := faultinject.Spec{
+		FlipEvery: 4096, ZeroEvery: 8192, ZeroRun: 24,
+		TearEvery: 16384, TearLen: 64, TruncateAfter: 100000, ShortReads: true,
+	}
+	if spec != want {
+		t.Fatalf("ParseSpec = %+v, want %+v", spec, want)
+	}
+	for _, bad := range []string{"", "flip", "flip:0", "flip:-3", "warp:9", "truncate:1:2"} {
+		if _, err := faultinject.ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+// TestLenientIngestionSurvivesInjectedFaults is the end-to-end drill:
+// a v2 stream pulled through a corrupting reader must never panic the
+// lenient reader, and every frame that comes out must validate.
+func TestLenientIngestionSurvivesInjectedFaults(t *testing.T) {
+	w := tracetest.Tiny()
+	var buf bytes.Buffer
+	if err := trace.EncodeStream(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	for seed := uint64(0); seed < 20; seed++ {
+		spec := faultinject.Spec{Seed: seed, FlipEvery: 400, ShortReads: true}
+		r, err := trace.NewStreamReader(
+			faultinject.NewReader(bytes.NewReader(clean), spec),
+			trace.ReaderOptions{Lenient: true})
+		if err != nil {
+			continue // header destroyed: rejecting is fine
+		}
+		for {
+			f, err := r.NextFrame()
+			if err != nil {
+				if !errors.Is(err, io.EOF) {
+					t.Fatalf("seed %d: lenient reader errored: %v", seed, err)
+				}
+				break
+			}
+			for di := range f.Draws {
+				if f.Draws[di].VertexCount <= 0 {
+					t.Fatalf("seed %d: invalid draw slipped through", seed)
+				}
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -253,13 +254,24 @@ func (r RunResult) FPS() float64 {
 
 // Run prices every frame of the simulator's workload.
 func (s *Simulator) Run() RunResult {
+	res, _ := s.RunContext(context.Background())
+	return res
+}
+
+// RunContext prices every frame, checking for cancellation between
+// frames — pricing is the inner loop of every sweep, so this is where
+// a deadline has to land to stop a run promptly.
+func (s *Simulator) RunContext(ctx context.Context) (RunResult, error) {
 	res := RunResult{ConfigName: s.cfg.Name, FrameNs: make([]float64, len(s.w.Frames))}
 	for i := range s.w.Frames {
+		if err := ctx.Err(); err != nil {
+			return res, fmt.Errorf("gpu: run canceled at frame %d/%d: %w", i, len(s.w.Frames), err)
+		}
 		t := s.FrameNs(&s.w.Frames[i])
 		res.FrameNs[i] = t
 		res.TotalNs += t
 	}
-	return res
+	return res, nil
 }
 
 func max5(a, b, c, d, e float64) float64 {

@@ -1,0 +1,45 @@
+package linalg
+
+import (
+	"strings"
+	"testing"
+)
+
+// The invariant panics are part of the misuse contract: their messages
+// must name the type and the violation so a stack trace alone
+// attributes the bug.
+func TestNormalizerPanicMessages(t *testing.T) {
+	mustPanicWith := func(t *testing.T, want string, f func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("no panic, want one containing %q", want)
+			}
+			msg, ok := r.(string)
+			if !ok || !strings.Contains(msg, want) || !strings.Contains(msg, "invariant violated") {
+				t.Fatalf("panic = %v, want invariant message containing %q", r, want)
+			}
+		}()
+		f()
+	}
+
+	mustPanicWith(t, "linalg: ZScore.Apply before Fit", func() {
+		new(ZScore).Apply([]float64{1})
+	})
+	mustPanicWith(t, "linalg: MinMax.Apply before Fit", func() {
+		new(MinMax).Apply([]float64{1})
+	})
+
+	x := NewMatrix(2, 3)
+	z := new(ZScore)
+	z.Fit(x)
+	mustPanicWith(t, "linalg: ZScore dim 2, fitted on 3", func() {
+		z.Apply([]float64{1, 2})
+	})
+	m := new(MinMax)
+	m.Fit(x)
+	mustPanicWith(t, "linalg: MinMax dim 4, fitted on 3", func() {
+		m.Apply([]float64{1, 2, 3, 4})
+	})
+}

@@ -1,8 +1,9 @@
 package linalg
 
 import (
-	"fmt"
 	"math"
+
+	"repro/internal/dcmath"
 )
 
 // Normalizer rescales feature vectors so that distance computations
@@ -53,14 +54,11 @@ func (z *ZScore) Fit(x *Matrix) {
 	}
 }
 
-// Apply implements Normalizer.
+// Apply implements Normalizer. Calling it before Fit or with the
+// wrong dimensionality is caller misuse, guarded by invariant panics.
 func (z *ZScore) Apply(v []float64) {
-	if z.mean == nil {
-		panic("linalg: ZScore.Apply before Fit")
-	}
-	if len(v) != len(z.mean) {
-		panic(fmt.Sprintf("linalg: ZScore dim %d, fitted on %d", len(v), len(z.mean)))
-	}
+	dcmath.Mustf(z.mean != nil, "linalg: ZScore.Apply before Fit")
+	dcmath.Mustf(len(v) == len(z.mean), "linalg: ZScore dim %d, fitted on %d", len(v), len(z.mean))
 	for j := range v {
 		v[j] = (v[j] - z.mean[j]) * z.invStd[j]
 	}
@@ -101,14 +99,11 @@ func (m *MinMax) Fit(x *Matrix) {
 	}
 }
 
-// Apply implements Normalizer.
+// Apply implements Normalizer. Calling it before Fit or with the
+// wrong dimensionality is caller misuse, guarded by invariant panics.
 func (m *MinMax) Apply(v []float64) {
-	if m.min == nil {
-		panic("linalg: MinMax.Apply before Fit")
-	}
-	if len(v) != len(m.min) {
-		panic(fmt.Sprintf("linalg: MinMax dim %d, fitted on %d", len(v), len(m.min)))
-	}
+	dcmath.Mustf(m.min != nil, "linalg: MinMax.Apply before Fit")
+	dcmath.Mustf(len(v) == len(m.min), "linalg: MinMax dim %d, fitted on %d", len(v), len(m.min))
 	for j := range v {
 		v[j] = (v[j] - m.min[j]) * m.invRange[j]
 	}

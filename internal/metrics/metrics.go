@@ -123,12 +123,10 @@ func EvaluateWorkload(o subset.CostOracle, w *trace.Workload, fc *subset.FrameCl
 }
 
 // Speedups converts a series of total runtimes into speedups relative
-// to the runtime at refIdx. It panics on an out-of-range refIdx —
-// experiment wiring, not runtime input.
+// to the runtime at refIdx. An out-of-range refIdx is experiment
+// wiring, not runtime input, so it trips the invariant guard.
 func Speedups(totalsNs []float64, refIdx int) []float64 {
-	if refIdx < 0 || refIdx >= len(totalsNs) {
-		panic(fmt.Sprintf("metrics: refIdx %d of %d", refIdx, len(totalsNs)))
-	}
+	dcmath.Mustf(refIdx >= 0 && refIdx < len(totalsNs), "metrics: refIdx %d of %d", refIdx, len(totalsNs))
 	ref := totalsNs[refIdx]
 	out := make([]float64, len(totalsNs))
 	for i, t := range totalsNs {

@@ -1,0 +1,20 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpeedupsPanicMessage(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("out-of-range refIdx did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "invariant violated") || !strings.Contains(msg, "metrics: refIdx 7 of 2") {
+			t.Fatalf("panic = %v, want invariant message naming refIdx 7 of 2", r)
+		}
+	}()
+	Speedups([]float64{1, 2}, 7)
+}

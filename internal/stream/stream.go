@@ -11,6 +11,7 @@
 package stream
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -18,12 +19,18 @@ import (
 	"repro/internal/phase"
 	"repro/internal/subset"
 	"repro/internal/trace"
+	"repro/internal/traceerr"
 )
 
 // Options mirrors subset.Options.
 type Options struct {
 	Method subset.Method
 	Phase  phase.Options
+
+	// Lenient makes Push skip unusable frames (accounted in the
+	// result's Diagnostics) instead of failing the run — pair it with a
+	// lenient trace.StreamReader to survive damaged captures.
+	Lenient bool
 }
 
 // DefaultOptions returns the batch pipeline's defaults.
@@ -39,6 +46,11 @@ type Result struct {
 	ParentFrames int
 	ParentDraws  int
 	Timeline     string
+
+	// Diagnostics accounts for everything skipped on the way here —
+	// the reader's resyncs plus frames the subsetter itself dropped.
+	// Zero on a clean strict run.
+	Diagnostics traceerr.Diagnostics
 }
 
 // SizeRatio returns subset draws / parent draws.
@@ -77,6 +89,7 @@ type Subsetter struct {
 	timeline   []byte // one rune per interval
 	frames     []subset.Frame
 	finished   bool
+	diag       traceerr.Diagnostics
 }
 
 // New builds a streaming subsetter bound to the stream's shell
@@ -97,13 +110,18 @@ func New(shell *trace.Workload, opt Options) (*Subsetter, error) {
 	}, nil
 }
 
-// Push consumes one frame.
+// Push consumes one frame. In lenient mode an unusable frame is
+// skipped and accounted instead of failing the run.
 func (s *Subsetter) Push(f trace.Frame) error {
 	if s.finished {
 		return fmt.Errorf("stream: Push after Finish")
 	}
 	if len(f.Draws) == 0 {
-		return fmt.Errorf("stream: frame %d has no draws", s.frameIdx)
+		if s.opt.Lenient {
+			s.diag.FramesSkipped++
+			return nil
+		}
+		return fmt.Errorf("stream: frame %d has no draws: %w", s.frameIdx, traceerr.ErrInvalidFrame)
 	}
 	s.buf = append(s.buf, f)
 	s.frameIdx++
@@ -177,18 +195,42 @@ func (s *Subsetter) Finish() (*Result, error) {
 		ParentFrames: s.frameIdx,
 		ParentDraws:  s.draws,
 		Timeline:     string(s.timeline),
+		Diagnostics:  s.diag,
 	}, nil
 }
 
-// Run drains a stream decoder through a subsetter — the convenience
+// FrameSource is what RunContext drains: both trace.StreamDecoder
+// (strict) and trace.StreamReader (strict or lenient) satisfy it.
+type FrameSource interface {
+	Shell() *trace.Workload
+	NextFrame() (trace.Frame, error)
+}
+
+// diagnoser lets RunContext collect degradation accounting from
+// sources that keep it (trace.StreamReader).
+type diagnoser interface {
+	Diagnostics() traceerr.Diagnostics
+}
+
+// Run drains a frame source through a subsetter — the convenience
 // entry point for file-backed captures.
-func Run(dec *trace.StreamDecoder, opt Options) (*Result, error) {
-	s, err := New(dec.Shell(), opt)
+func Run(src FrameSource, opt Options) (*Result, error) {
+	return RunContext(context.Background(), src, opt)
+}
+
+// RunContext is Run with cancellation: the drain loop stops with
+// ctx.Err() as soon as the context is done, so callers can bound
+// unattended ingestion with a deadline or Ctrl-C.
+func RunContext(ctx context.Context, src FrameSource, opt Options) (*Result, error) {
+	s, err := New(src.Shell(), opt)
 	if err != nil {
 		return nil, err
 	}
 	for {
-		f, err := dec.NextFrame()
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("stream: ingestion canceled after %d frames: %w", s.frameIdx, err)
+		}
+		f, err := src.NextFrame()
 		if errors.Is(err, io.EOF) {
 			break
 		}
@@ -199,5 +241,12 @@ func Run(dec *trace.StreamDecoder, opt Options) (*Result, error) {
 			return nil, err
 		}
 	}
-	return s.Finish()
+	res, err := s.Finish()
+	if err != nil {
+		return nil, err
+	}
+	if d, ok := src.(diagnoser); ok {
+		res.Diagnostics.Add(d.Diagnostics())
+	}
+	return res, nil
 }

@@ -9,6 +9,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dcmath"
@@ -83,6 +84,13 @@ type Result struct {
 // Run prices the parent and the subset's parent-estimate on every
 // config.
 func Run(w *trace.Workload, s *subset.Subset, cfgs []gpu.Config) (Result, error) {
+	return RunContext(context.Background(), w, s, cfgs)
+}
+
+// RunContext is Run with cancellation: pricing a large grid on a long
+// parent is the most expensive loop in the system, so it checks the
+// context once per configuration and once per parent frame.
+func RunContext(ctx context.Context, w *trace.Workload, s *subset.Subset, cfgs []gpu.Config) (Result, error) {
 	if len(cfgs) < 2 {
 		return Result{}, fmt.Errorf("sweep: need at least 2 configs, have %d", len(cfgs))
 	}
@@ -94,7 +102,11 @@ func Run(w *trace.Workload, s *subset.Subset, cfgs []gpu.Config) (Result, error)
 		if err != nil {
 			return Result{}, err
 		}
-		parent[i] = sim.Run().TotalNs
+		run, err := sim.RunContext(ctx)
+		if err != nil {
+			return Result{}, fmt.Errorf("sweep: config %d/%d: %w", i+1, len(cfgs), err)
+		}
+		parent[i] = run.TotalNs
 		sub[i] = s.EstimateParentNs(sim)
 		res.Points[i] = Point{Config: cfg, ParentNs: parent[i], SubsetNs: sub[i]}
 	}
@@ -132,8 +144,16 @@ func Decide(res Result) Decision {
 // pathfinding mode where the parent is never simulated. Returns the
 // subset's parent-estimates per config.
 func SubsetOnly(s *subset.Subset, cfgs []gpu.Config) ([]float64, error) {
+	return SubsetOnlyContext(context.Background(), s, cfgs)
+}
+
+// SubsetOnlyContext is SubsetOnly with per-config cancellation.
+func SubsetOnlyContext(ctx context.Context, s *subset.Subset, cfgs []gpu.Config) ([]float64, error) {
 	out := make([]float64, len(cfgs))
 	for i, cfg := range cfgs {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sweep: canceled at config %d/%d: %w", i+1, len(cfgs), err)
+		}
 		sim, err := gpu.NewSimulator(cfg, s.Parent)
 		if err != nil {
 			return nil, err

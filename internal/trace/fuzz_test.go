@@ -2,6 +2,7 @@ package trace_test
 
 import (
 	"bytes"
+	"io"
 	"testing"
 
 	"repro/internal/trace"
@@ -59,4 +60,56 @@ func FuzzStreamDecode(f *testing.F) {
 			}
 		}
 	})
+}
+
+// FuzzStreamV2Resync feeds mutated v2 stream bytes to the resyncing
+// lenient reader: it must never panic, never loop forever, and every
+// frame it delivers must still pass full validation against the shell.
+func FuzzStreamV2Resync(f *testing.F) {
+	var buf bytes.Buffer
+	if err := trace.EncodeStream(&buf, tracetest.Tiny()); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid, 0, byte(0))
+	f.Add(valid, 20, byte(0xff))    // damage inside the header record
+	f.Add(valid, len(valid)/2, byte(0x01)) // damage mid-stream
+	f.Add(valid[:len(valid)-30], 0, byte(0)) // truncated tail
+	f.Add([]byte("3DWS\x02junkjunkjunk"), 3, byte(7))
+	doubled := append(append([]byte{}, valid...), valid...) // concatenated captures
+	f.Add(doubled, 0, byte(0))
+
+	f.Fuzz(func(t *testing.T, data []byte, pos int, mask byte) {
+		mutated := append([]byte{}, data...)
+		if len(mutated) > 0 {
+			mutated[abs(pos)%len(mutated)] ^= mask
+		}
+		r, err := trace.NewStreamReader(bytes.NewReader(mutated), trace.ReaderOptions{Lenient: true})
+		if err != nil {
+			return // header unrecoverable: rejecting is fine
+		}
+		shell := r.Shell()
+		for {
+			fr, err := r.NextFrame()
+			if err != nil {
+				// Lenient v2 reading only ever ends in io.EOF.
+				if r.Version() == 2 && err != io.EOF {
+					t.Fatalf("lenient v2 reader returned %v", err)
+				}
+				return
+			}
+			check := *shell
+			check.Frames = []trace.Frame{fr}
+			if err := check.Validate(); err != nil {
+				t.Fatalf("reader delivered invalid frame: %v", err)
+			}
+		}
+	})
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
 }

@@ -3,11 +3,48 @@ package trace
 import (
 	"encoding/gob"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
 	"repro/internal/shader"
+	"repro/internal/traceerr"
 )
+
+// DefaultMaxDecodeBytes caps how much input Decode/DecodeJSON will
+// consume before rejecting it with traceerr.ErrTooLarge — a guard
+// against hostile or garbage inputs that would otherwise be buffered
+// without bound. DecodeLimited/DecodeJSONLimited take an explicit cap.
+const DefaultMaxDecodeBytes int64 = 1 << 30 // 1 GiB
+
+// cappedReader fails with traceerr.ErrTooLarge once more than max
+// bytes have been read, and remembers that it did: gob and json may
+// rewrap the error, so callers check the flag rather than the chain.
+type cappedReader struct {
+	r        io.Reader
+	left     int64
+	exceeded bool
+}
+
+func (c *cappedReader) Read(p []byte) (int, error) {
+	if c.left <= 0 {
+		c.exceeded = true
+		return 0, traceerr.ErrTooLarge
+	}
+	if int64(len(p)) > c.left {
+		p = p[:c.left]
+	}
+	n, err := c.r.Read(p)
+	c.left -= int64(n)
+	return n, err
+}
+
+func (c *cappedReader) capErr(err error, max int64) error {
+	if c.exceeded || errors.Is(err, traceerr.ErrTooLarge) {
+		return fmt.Errorf("trace: input exceeds %d-byte decode cap: %w", max, traceerr.ErrTooLarge)
+	}
+	return err
+}
 
 // wire is the serialization form of Workload. The shader registry has
 // unexported bookkeeping, so programs travel as a flat slice and the
@@ -65,11 +102,22 @@ func (w *Workload) Encode(out io.Writer) error {
 	return nil
 }
 
-// Decode reads a workload in binary format and validates it.
+// Decode reads a workload in binary format and validates it, refusing
+// inputs beyond DefaultMaxDecodeBytes with traceerr.ErrTooLarge.
 func Decode(in io.Reader) (*Workload, error) {
+	return DecodeLimited(in, DefaultMaxDecodeBytes)
+}
+
+// DecodeLimited is Decode with an explicit input size cap in bytes
+// (<= 0 means DefaultMaxDecodeBytes).
+func DecodeLimited(in io.Reader, maxBytes int64) (*Workload, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxDecodeBytes
+	}
+	capped := &cappedReader{r: in, left: maxBytes}
 	var ww wire
-	if err := gob.NewDecoder(in).Decode(&ww); err != nil {
-		return nil, fmt.Errorf("trace: decoding workload: %w", err)
+	if err := gob.NewDecoder(capped).Decode(&ww); err != nil {
+		return nil, fmt.Errorf("trace: decoding workload: %w", capped.capErr(err, maxBytes))
 	}
 	return fromWire(ww)
 }
@@ -85,11 +133,23 @@ func (w *Workload) EncodeJSON(out io.Writer) error {
 	return nil
 }
 
-// DecodeJSON reads a workload in JSON format and validates it.
+// DecodeJSON reads a workload in JSON format and validates it,
+// refusing inputs beyond DefaultMaxDecodeBytes with
+// traceerr.ErrTooLarge.
 func DecodeJSON(in io.Reader) (*Workload, error) {
+	return DecodeJSONLimited(in, DefaultMaxDecodeBytes)
+}
+
+// DecodeJSONLimited is DecodeJSON with an explicit input size cap in
+// bytes (<= 0 means DefaultMaxDecodeBytes).
+func DecodeJSONLimited(in io.Reader, maxBytes int64) (*Workload, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxDecodeBytes
+	}
+	capped := &cappedReader{r: in, left: maxBytes}
 	var ww wire
-	if err := json.NewDecoder(in).Decode(&ww); err != nil {
-		return nil, fmt.Errorf("trace: JSON-decoding workload: %w", err)
+	if err := json.NewDecoder(capped).Decode(&ww); err != nil {
+		return nil, fmt.Errorf("trace: JSON-decoding workload: %w", capped.capErr(err, maxBytes))
 	}
 	return fromWire(ww)
 }

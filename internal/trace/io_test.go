@@ -2,11 +2,13 @@ package trace_test
 
 import (
 	"bytes"
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
 
 	"repro/internal/trace"
+	"repro/internal/traceerr"
 	"repro/internal/tracetest"
 )
 
@@ -91,6 +93,41 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 	}
 	if _, err := trace.DecodeJSON(strings.NewReader("{")); err == nil {
 		t.Error("garbage JSON accepted")
+	}
+}
+
+func TestDecodeLimitedEnforcesSizeCap(t *testing.T) {
+	w := tracetest.Tiny()
+	var gobBuf, jsonBuf bytes.Buffer
+	if err := w.Encode(&gobBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.EncodeJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A cap below the encoded size must reject with ErrTooLarge.
+	_, err := trace.DecodeLimited(bytes.NewReader(gobBuf.Bytes()), int64(gobBuf.Len())/2)
+	if !errors.Is(err, traceerr.ErrTooLarge) {
+		t.Fatalf("gob over cap: err = %v, want ErrTooLarge", err)
+	}
+	_, err = trace.DecodeJSONLimited(bytes.NewReader(jsonBuf.Bytes()), int64(jsonBuf.Len())/2)
+	if !errors.Is(err, traceerr.ErrTooLarge) {
+		t.Fatalf("json over cap: err = %v, want ErrTooLarge", err)
+	}
+
+	// At or above the encoded size both decoders succeed.
+	if _, err := trace.DecodeLimited(bytes.NewReader(gobBuf.Bytes()), int64(gobBuf.Len())); err != nil {
+		t.Fatalf("gob at exact cap: %v", err)
+	}
+	if _, err := trace.DecodeJSONLimited(bytes.NewReader(jsonBuf.Bytes()), int64(jsonBuf.Len())+1); err != nil {
+		t.Fatalf("json within cap: %v", err)
+	}
+
+	// A truncated-but-small input must NOT be misreported as too large.
+	_, err = trace.DecodeLimited(bytes.NewReader(gobBuf.Bytes()[:gobBuf.Len()/2]), int64(gobBuf.Len()))
+	if err == nil || errors.Is(err, traceerr.ErrTooLarge) {
+		t.Fatalf("truncated input: err = %v, want decode failure that is not ErrTooLarge", err)
 	}
 }
 

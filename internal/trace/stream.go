@@ -2,7 +2,6 @@ package trace
 
 import (
 	"encoding/gob"
-	"errors"
 	"fmt"
 	"io"
 
@@ -59,24 +58,41 @@ func (h Header) Shell() (*Workload, error) {
 }
 
 // StreamEncoder writes a workload as header + one record per frame, so
-// arbitrarily long captures encode in bounded memory.
+// arbitrarily long captures encode in bounded memory. New streams are
+// written in format v2 (checksummed, resyncable); NewStreamEncoderV1
+// keeps the legacy raw-gob writer for compatibility tooling.
 type StreamEncoder struct {
-	enc    *gob.Encoder
-	frames int
+	writeFrame func(*Frame) error
+	frames     int
 }
 
-// NewStreamEncoder writes the header immediately.
+// NewStreamEncoder writes the v2 container header and stream header
+// record immediately.
 func NewStreamEncoder(out io.Writer, h Header) (*StreamEncoder, error) {
+	w, err := newStreamWriterV2(out, h)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamEncoder{writeFrame: w.writeFrame}, nil
+}
+
+// NewStreamEncoderV1 writes the legacy v1 format: a bare gob stream of
+// header then frames, with no magic, framing or checksums. It exists so
+// compatibility with already-captured fleets can be tested; new
+// captures should use NewStreamEncoder.
+func NewStreamEncoderV1(out io.Writer, h Header) (*StreamEncoder, error) {
 	enc := gob.NewEncoder(out)
 	if err := enc.Encode(h); err != nil {
 		return nil, fmt.Errorf("trace: encoding stream header: %w", err)
 	}
-	return &StreamEncoder{enc: enc}, nil
+	return &StreamEncoder{writeFrame: func(f *Frame) error {
+		return enc.Encode(f)
+	}}, nil
 }
 
 // WriteFrame appends one frame record.
 func (e *StreamEncoder) WriteFrame(f *Frame) error {
-	if err := e.enc.Encode(f); err != nil {
+	if err := e.writeFrame(f); err != nil {
 		return fmt.Errorf("trace: encoding frame %d: %w", e.frames, err)
 	}
 	e.frames++
@@ -101,52 +117,30 @@ func EncodeStream(out io.Writer, w *Workload) error {
 	return nil
 }
 
-// StreamDecoder reads header + frames written by StreamEncoder.
+// StreamDecoder reads header + frames written by StreamEncoder (either
+// format version), failing fast on the first problem. It is the strict
+// face of StreamReader; use NewStreamReader directly for lenient
+// ingestion of damaged captures.
 type StreamDecoder struct {
-	dec    *gob.Decoder
-	shell  *Workload
-	frames int
+	r *StreamReader
 }
 
 // NewStreamDecoder reads and validates the header.
 func NewStreamDecoder(in io.Reader) (*StreamDecoder, error) {
-	dec := gob.NewDecoder(in)
-	var h Header
-	if err := dec.Decode(&h); err != nil {
-		return nil, fmt.Errorf("trace: decoding stream header: %w", err)
-	}
-	shell, err := h.Shell()
+	r, err := NewStreamReader(in, ReaderOptions{})
 	if err != nil {
 		return nil, err
 	}
-	return &StreamDecoder{dec: dec, shell: shell}, nil
+	return &StreamDecoder{r: r}, nil
 }
 
 // Shell returns the frameless workload the stream's frames belong to.
 // Callers must not append frames to it; it exists to resolve resources.
-func (d *StreamDecoder) Shell() *Workload { return d.shell }
+func (d *StreamDecoder) Shell() *Workload { return d.r.Shell() }
 
 // NextFrame returns the next frame, validating its draws against the
 // shell's resource tables. It returns io.EOF after the last frame.
-func (d *StreamDecoder) NextFrame() (Frame, error) {
-	var f Frame
-	if err := d.dec.Decode(&f); err != nil {
-		if errors.Is(err, io.EOF) {
-			return Frame{}, io.EOF
-		}
-		return Frame{}, fmt.Errorf("trace: decoding frame %d: %w", d.frames, err)
-	}
-	if len(f.Draws) == 0 {
-		return Frame{}, fmt.Errorf("trace: streamed frame %d has no draws", d.frames)
-	}
-	for di := range f.Draws {
-		if err := d.shell.validateDraw(&f.Draws[di]); err != nil {
-			return Frame{}, fmt.Errorf("trace: streamed frame %d draw %d: %w", d.frames, di, err)
-		}
-	}
-	d.frames++
-	return f, nil
-}
+func (d *StreamDecoder) NextFrame() (Frame, error) { return d.r.NextFrame() }
 
 // FramesRead returns how many frames have been decoded.
-func (d *StreamDecoder) FramesRead() int { return d.frames }
+func (d *StreamDecoder) FramesRead() int { return d.r.FramesRead() }

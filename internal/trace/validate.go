@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/shader"
@@ -32,6 +33,56 @@ func (w *Workload) Validate() error {
 		}
 	}
 	return nil
+}
+
+// ValidateAll checks the same invariants as Validate but collects
+// every violation instead of stopping at the first, joined with
+// errors.Join. A nil result means the workload is fully valid. Use it
+// when triaging a damaged capture: one pass names everything wrong
+// rather than one problem per run.
+func (w *Workload) ValidateAll() error {
+	var errs []error
+	if w.Name == "" {
+		errs = append(errs, fmt.Errorf("trace: workload has empty name"))
+	}
+	if w.Shaders == nil {
+		errs = append(errs, fmt.Errorf("trace: workload %q has nil shader registry", w.Name))
+		return errors.Join(errs...) // draw checks need the registry
+	}
+	if len(w.Frames) == 0 {
+		errs = append(errs, fmt.Errorf("trace: workload %q has no frames", w.Name))
+	}
+	for fi := range w.Frames {
+		f := &w.Frames[fi]
+		if len(f.Draws) == 0 {
+			errs = append(errs, fmt.Errorf("trace: %q frame %d has no draws", w.Name, fi))
+		}
+		for di := range f.Draws {
+			if err := w.validateDraw(&f.Draws[di]); err != nil {
+				errs = append(errs, fmt.Errorf("trace: %q frame %d draw %d: %w", w.Name, fi, di, err))
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// SanitizeFrame removes draws that fail validation from f in place —
+// the lenient-mode draw filter. It returns how many draws were dropped
+// and their joined violations (nil when the frame was clean). The
+// receiver provides the resource tables; its own frames are untouched.
+func (w *Workload) SanitizeFrame(f *Frame) (int, error) {
+	var errs []error
+	kept := f.Draws[:0]
+	for di := range f.Draws {
+		if err := w.validateDraw(&f.Draws[di]); err != nil {
+			errs = append(errs, fmt.Errorf("draw %d: %w", di, err))
+			continue
+		}
+		kept = append(kept, f.Draws[di])
+	}
+	dropped := len(f.Draws) - len(kept)
+	f.Draws = kept
+	return dropped, errors.Join(errs...)
 }
 
 func (w *Workload) validateDraw(d *DrawCall) error {

@@ -65,3 +65,67 @@ func TestValidateReportsCoordinates(t *testing.T) {
 		t.Errorf("error lacks coordinates: %v", err)
 	}
 }
+
+func TestValidateAllCollectsEveryViolation(t *testing.T) {
+	if err := tracetest.Tiny().ValidateAll(); err != nil {
+		t.Fatalf("clean fixture: ValidateAll = %v, want nil", err)
+	}
+
+	w := tracetest.Tiny()
+	w.Frames[0].Draws[0].CoverageFrac = 1.5
+	w.Frames[1].Draws[1].Overdraw = 0.5
+	w.Frames[2].Draws[0].VS = 999
+	err := w.ValidateAll()
+	if err == nil {
+		t.Fatal("three violations, ValidateAll = nil")
+	}
+	// Validate stops at the first problem; ValidateAll must name all three.
+	for _, want := range []string{
+		"frame 0 draw 0", "coverage 1.5",
+		"frame 1 draw 1", "overdraw 0.5",
+		"frame 2 draw 0", "vertex shader",
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error missing %q:\n%v", want, err)
+		}
+	}
+	if first := w.Validate(); first == nil || strings.Contains(first.Error(), "overdraw") {
+		t.Errorf("Validate should stop at the first violation, got %v", first)
+	}
+}
+
+func TestSanitizeFrameDropsOnlyInvalidDraws(t *testing.T) {
+	w := tracetest.Tiny()
+	f := &w.Frames[0]
+	total := len(f.Draws)
+	if total < 3 {
+		t.Fatalf("fixture frame 0 has %d draws, need >= 3", total)
+	}
+	survivor := f.Draws[1] // untouched draw, must come through intact
+	f.Draws[0].CoverageFrac = 2
+	f.Draws[2].Overdraw = 0
+
+	dropped, err := w.SanitizeFrame(f)
+	if dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", dropped)
+	}
+	if err == nil || !strings.Contains(err.Error(), "draw 0") || !strings.Contains(err.Error(), "draw 2") {
+		t.Fatalf("joined violations should name draws 0 and 2, got %v", err)
+	}
+	if len(f.Draws) != total-2 {
+		t.Fatalf("frame kept %d draws, want %d", len(f.Draws), total-2)
+	}
+	if f.Draws[0].VS != survivor.VS || f.Draws[0].CoverageFrac != survivor.CoverageFrac {
+		t.Error("surviving draw was altered by sanitization")
+	}
+	// A sanitized frame must validate again.
+	if err := w.Validate(); err != nil {
+		t.Fatalf("workload invalid after sanitization: %v", err)
+	}
+
+	// Clean frames report zero drops and no error.
+	dropped, err = w.SanitizeFrame(&w.Frames[1])
+	if dropped != 0 || err != nil {
+		t.Fatalf("clean frame: dropped=%d err=%v, want 0, nil", dropped, err)
+	}
+}

@@ -1,0 +1,113 @@
+// Package traceerr is the error taxonomy of trace ingestion. Every
+// failure the stream readers and decoders can hit maps onto one of a
+// small set of typed sentinels, wrapped with the coordinates (record,
+// frame, byte offset) where it happened, so callers branch with
+// errors.Is/errors.As instead of string matching — and so fleet-scale
+// ingestion can account for every discarded byte.
+//
+// The package also defines Diagnostics, the accounting record lenient
+// readers and pipelines fill in while degrading gracefully: how many
+// records were resynced past, frames skipped, draws dropped and bytes
+// discarded on the way to a result.
+package traceerr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel failure classes. Wrap them (directly or via RecordError) so
+// errors.Is classifies any ingestion failure.
+var (
+	// ErrTruncated marks input that ends mid-record or mid-value: the
+	// capture was cut short (crashed replayer, partial upload).
+	ErrTruncated = errors.New("trace: input truncated")
+
+	// ErrCorruptRecord marks a record whose framing or checksum does
+	// not hold: bit rot, torn writes, or a resync that gave up.
+	ErrCorruptRecord = errors.New("trace: corrupt record")
+
+	// ErrVersionMismatch marks a container whose format version this
+	// build does not speak.
+	ErrVersionMismatch = errors.New("trace: stream version mismatch")
+
+	// ErrInvalidFrame marks a frame that decoded cleanly but failed
+	// semantic validation (draws referencing unknown resources,
+	// out-of-range measurements).
+	ErrInvalidFrame = errors.New("trace: invalid frame")
+
+	// ErrTooLarge marks input rejected by a decoder size cap before it
+	// could exhaust memory.
+	ErrTooLarge = errors.New("trace: input exceeds size cap")
+)
+
+// RecordError wraps a sentinel with the coordinates of the failing
+// record, so strict-mode callers can report exactly where ingestion
+// stopped. Record and Frame are -1 when unknown.
+type RecordError struct {
+	Kind   error // one of the sentinels above
+	Record int   // record index in the stream, -1 if unknown
+	Frame  int   // frame index, -1 if unknown or not a frame record
+	Offset int64 // byte offset of the record start, -1 if unknown
+	Cause  error // underlying error, may be nil
+}
+
+// Error implements error.
+func (e *RecordError) Error() string {
+	msg := e.Kind.Error()
+	if e.Record >= 0 {
+		msg = fmt.Sprintf("%s (record %d", msg, e.Record)
+		if e.Frame >= 0 {
+			msg = fmt.Sprintf("%s, frame %d", msg, e.Frame)
+		}
+		if e.Offset >= 0 {
+			msg = fmt.Sprintf("%s, offset %d", msg, e.Offset)
+		}
+		msg += ")"
+	} else if e.Offset >= 0 {
+		msg = fmt.Sprintf("%s (offset %d)", msg, e.Offset)
+	}
+	if e.Cause != nil {
+		msg = fmt.Sprintf("%s: %v", msg, e.Cause)
+	}
+	return msg
+}
+
+// Unwrap exposes both the sentinel and the cause to errors.Is/As.
+func (e *RecordError) Unwrap() []error {
+	if e.Cause != nil {
+		return []error{e.Kind, e.Cause}
+	}
+	return []error{e.Kind}
+}
+
+// Diagnostics accounts for everything a lenient ingestion pass skipped
+// or threw away. The zero value means a clean run.
+type Diagnostics struct {
+	RecordsResynced int   // corrupt records scanned past to the next boundary
+	FramesSkipped   int   // frames dropped whole (undecodable or empty after filtering)
+	DrawsDropped    int   // individual draws dropped by validation filtering
+	BytesDiscarded  int64 // bytes consumed without producing a record
+}
+
+// Any reports whether any degradation happened.
+func (d Diagnostics) Any() bool {
+	return d.RecordsResynced != 0 || d.FramesSkipped != 0 || d.DrawsDropped != 0 || d.BytesDiscarded != 0
+}
+
+// Add merges another pass's accounting into d.
+func (d *Diagnostics) Add(o Diagnostics) {
+	d.RecordsResynced += o.RecordsResynced
+	d.FramesSkipped += o.FramesSkipped
+	d.DrawsDropped += o.DrawsDropped
+	d.BytesDiscarded += o.BytesDiscarded
+}
+
+// String renders the accounting for CLI summaries.
+func (d Diagnostics) String() string {
+	if !d.Any() {
+		return "clean (no records resynced, no frames skipped)"
+	}
+	return fmt.Sprintf("%d records resynced, %d frames skipped, %d draws dropped, %d bytes discarded",
+		d.RecordsResynced, d.FramesSkipped, d.DrawsDropped, d.BytesDiscarded)
+}

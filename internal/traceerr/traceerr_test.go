@@ -1,0 +1,74 @@
+package traceerr_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/traceerr"
+)
+
+func TestRecordErrorClassifiesViaIs(t *testing.T) {
+	cause := errors.New("crc 0xdead != 0xbeef")
+	err := error(&traceerr.RecordError{
+		Kind: traceerr.ErrCorruptRecord, Record: 7, Frame: 6, Offset: 4096, Cause: cause,
+	})
+	if !errors.Is(err, traceerr.ErrCorruptRecord) {
+		t.Error("not classified as ErrCorruptRecord")
+	}
+	if errors.Is(err, traceerr.ErrTruncated) {
+		t.Error("misclassified as ErrTruncated")
+	}
+	if !errors.Is(err, cause) {
+		t.Error("cause not reachable via Is")
+	}
+	var re *traceerr.RecordError
+	if !errors.As(err, &re) || re.Record != 7 {
+		t.Errorf("As failed or wrong record: %+v", re)
+	}
+	// Wrapping through fmt keeps the classification.
+	wrapped := fmt.Errorf("stream: %w", err)
+	if !errors.Is(wrapped, traceerr.ErrCorruptRecord) {
+		t.Error("classification lost through fmt wrapping")
+	}
+}
+
+func TestRecordErrorMessageCarriesCoordinates(t *testing.T) {
+	err := &traceerr.RecordError{Kind: traceerr.ErrCorruptRecord, Record: 3, Frame: 2, Offset: 100}
+	msg := err.Error()
+	for _, want := range []string{"record 3", "frame 2", "offset 100"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("message %q missing %q", msg, want)
+		}
+	}
+	// Unknown coordinates stay out of the message.
+	bare := &traceerr.RecordError{Kind: traceerr.ErrTruncated, Record: -1, Frame: -1, Offset: -1}
+	if strings.Contains(bare.Error(), "record") {
+		t.Errorf("message %q mentions unknown record", bare.Error())
+	}
+}
+
+func TestDiagnostics(t *testing.T) {
+	var d traceerr.Diagnostics
+	if d.Any() {
+		t.Error("zero value reports degradation")
+	}
+	if !strings.Contains(d.String(), "clean") {
+		t.Errorf("clean String = %q", d.String())
+	}
+	d.Add(traceerr.Diagnostics{RecordsResynced: 1, BytesDiscarded: 10})
+	d.Add(traceerr.Diagnostics{FramesSkipped: 2, DrawsDropped: 3, BytesDiscarded: 5})
+	if !d.Any() {
+		t.Error("degradation not reported")
+	}
+	want := traceerr.Diagnostics{RecordsResynced: 1, FramesSkipped: 2, DrawsDropped: 3, BytesDiscarded: 15}
+	if d != want {
+		t.Errorf("Add merged to %+v, want %+v", d, want)
+	}
+	for _, frag := range []string{"1 records resynced", "2 frames skipped", "3 draws dropped", "15 bytes discarded"} {
+		if !strings.Contains(d.String(), frag) {
+			t.Errorf("String %q missing %q", d.String(), frag)
+		}
+	}
+}
