@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 vet build test fuzz-seeds bench clean
+.PHONY: tier1 vet build test fuzz-seeds bench bench-parallel clean
 
 # tier1 is the merge gate: vet, build, race-enabled tests, and every
 # fuzz target replayed over its seed corpus (without -fuzz the seeds
@@ -19,8 +19,18 @@ test:
 fuzz-seeds:
 	$(GO) test -run Fuzz -v ./internal/trace/
 
+# bench runs every benchmark (experiments + parallel engine) and
+# records the parallel speedup curves in BENCH_parallel.json.
 bench:
-	$(GO) test -bench=. -benchmem -run '^$$' .
+	$(GO) test -bench=. -benchmem -run '^$$' . | tee bench.out
+	$(GO) run ./cmd/benchjson -match '^Parallel' -o BENCH_parallel.json < bench.out
+
+# bench-parallel runs only the worker-pool benchmarks (1/2/4/8 workers
+# per hot loop) — the quick way to regenerate BENCH_parallel.json.
+bench-parallel:
+	$(GO) test -bench='^BenchmarkParallel' -run '^$$' . | tee bench.out
+	$(GO) run ./cmd/benchjson -match '^Parallel' -o BENCH_parallel.json < bench.out
 
 clean:
 	$(GO) clean ./...
+	rm -f bench.out BENCH_parallel.json

@@ -1,0 +1,116 @@
+// Sequential-vs-parallel benchmarks for the worker-pool execution
+// engine: each of the pipeline's four hot loops — per-draw clustering
+// evaluation, the config-grid validation sweep, per-frame phase
+// characterization and the feature-matrix export — measured at 1, 2, 4
+// and 8 workers. workers=1 is the sequential reference; the speedup of
+// the other counts is what `make bench` records in BENCH_parallel.json
+// (on a single-core host all counts time alike — the numbers are only
+// meaningful where GOMAXPROCS > 1).
+package repro_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/features"
+	"repro/internal/gpu"
+	"repro/internal/metrics"
+	"repro/internal/phase"
+	"repro/internal/subset"
+	"repro/internal/sweep"
+)
+
+var workerCounts = []int{1, 2, 4, 8}
+
+// BenchmarkParallelClusteringEval measures the expensive path behind
+// SkipClusteringEval: pricing and clustering every draw of every frame.
+func BenchmarkParallelClusteringEval(b *testing.B) {
+	ws := suite(b)
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, w := range ws {
+					fc, err := subset.NewFrameClusterer(w, subset.DefaultMethod())
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := metrics.EvaluateWorkloadContext(context.Background(),
+						oracle(b, w), w, fc, metrics.DefaultOutlierThreshold, workers); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelValidationSweep measures config-grid pricing: every
+// sweep point simulates the parent and reconstructs the subset.
+func BenchmarkParallelValidationSweep(b *testing.B) {
+	ws := suite(b)
+	subs := make([]*subset.Subset, len(ws))
+	for i, w := range ws {
+		s, err := subset.Build(w, subset.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		subs[i] = s
+	}
+	cfgs := sweep.CoreClockSweep(gpu.BaseConfig(), sweep.DefaultCoreClocks())
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for j, w := range ws {
+					if _, err := sweep.RunParallel(context.Background(), w, subs[j], cfgs, workers); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelPhaseDetect measures per-interval frame
+// characterization, the hot part of shader-vector phase detection.
+func BenchmarkParallelPhaseDetect(b *testing.B) {
+	ws := suite(b)
+	opt := phase.DefaultOptions()
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, w := range ws {
+					if _, err := phase.DetectContext(context.Background(), w, opt, workers); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelFeatureCSV measures per-frame feature
+// characterization and formatting for the CSV export path.
+func BenchmarkParallelFeatureCSV(b *testing.B) {
+	ws := suite(b)
+	exts := make([]*features.Extractor, len(ws))
+	for i, w := range ws {
+		e, err := features.NewExtractor(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exts[i] = e
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for j, w := range ws {
+					if err := exts[j].WriteCSVContext(context.Background(), io.Discard, w.Frames, workers); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

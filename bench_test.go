@@ -25,6 +25,7 @@ import (
 	"repro/internal/sweep"
 	"repro/internal/synth"
 	"repro/internal/trace"
+	"repro/internal/tracetest"
 )
 
 const benchSeed = 42
@@ -40,7 +41,7 @@ func suite(b *testing.B) []*trace.Workload {
 	benchOnce.Do(func() {
 		for i, p := range synth.SuiteProfiles() {
 			p.Frames = 32
-			w, err := synth.Generate(p, benchSeed+uint64(i)*0x9e3779b97f4a7c15)
+			w, err := tracetest.CachedWorkload(p, benchSeed+uint64(i)*0x9e3779b97f4a7c15)
 			if err != nil {
 				panic(err)
 			}

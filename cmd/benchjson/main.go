@@ -1,0 +1,173 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// record. For benchmarks named with a ".../workers=N" sub-benchmark
+// convention it additionally derives per-group speedup curves relative
+// to workers=1, which is how `make bench` produces BENCH_parallel.json
+// from the parallel execution-engine benchmarks.
+//
+// Usage:
+//
+//	go test -bench=Parallel -run '^$' . | benchjson [-match Parallel] [-o BENCH_parallel.json]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the benchmark name with the "Benchmark" prefix and the
+	// trailing "-GOMAXPROCS" suffix stripped, e.g.
+	// "ParallelClusteringEval/workers=4".
+	Name string `json:"name"`
+
+	// Workers is parsed from a "workers=N" path element (0 if absent).
+	Workers int `json:"workers,omitempty"`
+
+	Iterations int64 `json:"iterations"`
+
+	// Metrics maps unit to value: "ns/op", "B/op", "allocs/op" and any
+	// custom b.ReportMetric units.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Output is the file schema.
+type Output struct {
+	// Env echoes the goos/goarch/pkg/cpu header lines of the bench run.
+	Env map[string]string `json:"env,omitempty"`
+
+	Benchmarks []Benchmark `json:"benchmarks"`
+
+	// SpeedupVsSequential maps a benchmark group (the name up to
+	// "/workers=") to workers -> ns/op(workers=1) / ns/op(workers),
+	// e.g. {"ParallelValidationSweep": {"4": 2.31}}. Only present when
+	// a group has a workers=1 arm to normalize against.
+	SpeedupVsSequential map[string]map[string]float64 `json:"speedup_vs_sequential,omitempty"`
+}
+
+var (
+	benchLine = regexp.MustCompile(`^Benchmark(\S+)\s+(\d+)\s+(.+)$`)
+	cpuSuffix = regexp.MustCompile(`-\d+$`)
+	workersRe = regexp.MustCompile(`(?:^|/)workers=(\d+)(?:$|/)`)
+)
+
+func parseLine(line string) (Benchmark, bool) {
+	m := benchLine.FindStringSubmatch(line)
+	if m == nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		Name:    cpuSuffix.ReplaceAllString(m[1], ""),
+		Metrics: map[string]float64{},
+	}
+	b.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+	if wm := workersRe.FindStringSubmatch(b.Name); wm != nil {
+		b.Workers, _ = strconv.Atoi(wm[1])
+	}
+	fields := strings.Fields(m[3])
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, len(b.Metrics) > 0
+}
+
+// speedups derives per-group curves normalized to the workers=1 arm.
+func speedups(benches []Benchmark) map[string]map[string]float64 {
+	base := map[string]float64{} // group -> ns/op at workers=1
+	for _, b := range benches {
+		if b.Workers == 1 {
+			if ns, ok := b.Metrics["ns/op"]; ok {
+				base[groupOf(b.Name)] = ns
+			}
+		}
+	}
+	out := map[string]map[string]float64{}
+	for _, b := range benches {
+		if b.Workers == 0 {
+			continue
+		}
+		ref, ok := base[groupOf(b.Name)]
+		ns := b.Metrics["ns/op"]
+		if !ok || ns == 0 {
+			continue
+		}
+		g := groupOf(b.Name)
+		if out[g] == nil {
+			out[g] = map[string]float64{}
+		}
+		out[g][strconv.Itoa(b.Workers)] = ref / ns
+	}
+	return out
+}
+
+func groupOf(name string) string {
+	if i := strings.Index(name, "/workers="); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+func run(matchPat, outPath string) error {
+	var match *regexp.Regexp
+	if matchPat != "" {
+		var err error
+		if match, err = regexp.Compile(matchPat); err != nil {
+			return fmt.Errorf("benchjson: bad -match: %w", err)
+		}
+	}
+	out := Output{Env: map[string]string{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				out.Env[key] = v
+			}
+		}
+		b, ok := parseLine(line)
+		if !ok || (match != nil && !match.MatchString(b.Name)) {
+			continue
+		}
+		out.Benchmarks = append(out.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("benchjson: reading input: %w", err)
+	}
+	if len(out.Benchmarks) == 0 {
+		return fmt.Errorf("benchjson: no benchmark lines matched")
+	}
+	out.SpeedupVsSequential = speedups(out.Benchmarks)
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath == "" || outPath == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(outPath, data, 0o644)
+}
+
+func main() {
+	var (
+		matchPat = flag.String("match", "", "only keep benchmarks whose name matches this regexp")
+		outPath  = flag.String("o", "-", "output file (- for stdout)")
+	)
+	flag.Parse()
+	if err := run(*matchPat, *outPath); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkParallelValidationSweep/workers=4-8 \t      12\t  95012345 ns/op\t 1024 B/op\t 17 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if b.Name != "ParallelValidationSweep/workers=4" {
+		t.Errorf("name = %q", b.Name)
+	}
+	if b.Workers != 4 {
+		t.Errorf("workers = %d", b.Workers)
+	}
+	if b.Iterations != 12 {
+		t.Errorf("iterations = %d", b.Iterations)
+	}
+	if b.Metrics["ns/op"] != 95012345 || b.Metrics["B/op"] != 1024 || b.Metrics["allocs/op"] != 17 {
+		t.Errorf("metrics = %v", b.Metrics)
+	}
+}
+
+func TestParseLineRejectsNonBench(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \trepro\t12.3s",
+		"BenchmarkBroken   notanumber ns/op",
+		"--- BENCH: BenchmarkX",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parsed %q as a benchmark", line)
+		}
+	}
+}
+
+func TestParseLineCustomMetricAndNoWorkers(t *testing.T) {
+	b, ok := parseLine("BenchmarkE2PredictionError-2   \t 3\t 1000 ns/op\t 1.04 err%")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if b.Workers != 0 {
+		t.Errorf("workers = %d, want 0", b.Workers)
+	}
+	if b.Metrics["err%"] != 1.04 {
+		t.Errorf("custom metric = %v", b.Metrics)
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	benches := []Benchmark{
+		{Name: "A/workers=1", Workers: 1, Metrics: map[string]float64{"ns/op": 800}},
+		{Name: "A/workers=4", Workers: 4, Metrics: map[string]float64{"ns/op": 200}},
+		{Name: "B/workers=1", Workers: 1, Metrics: map[string]float64{"ns/op": 100}},
+		{Name: "B/workers=2", Workers: 2, Metrics: map[string]float64{"ns/op": 80}},
+		{Name: "NoBase/workers=2", Workers: 2, Metrics: map[string]float64{"ns/op": 50}},
+		{Name: "Plain", Workers: 0, Metrics: map[string]float64{"ns/op": 10}},
+	}
+	s := speedups(benches)
+	if got := s["A"]["4"]; math.Abs(got-4) > 1e-12 {
+		t.Errorf("A at 4 workers = %v, want 4", got)
+	}
+	if got := s["B"]["2"]; math.Abs(got-1.25) > 1e-12 {
+		t.Errorf("B at 2 workers = %v, want 1.25", got)
+	}
+	if _, ok := s["NoBase"]; ok {
+		t.Error("group without a workers=1 arm got a speedup curve")
+	}
+	if _, ok := s["Plain"]; ok {
+		t.Error("non-worker benchmark got a speedup curve")
+	}
+}

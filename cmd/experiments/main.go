@@ -15,10 +15,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
 
+	"repro/internal/subset"
 	"repro/internal/synth"
 	"repro/internal/trace"
 )
@@ -58,11 +60,20 @@ var experiments = []experiment{
 // ctx carries the lazily-built corpus and evaluation caches shared by
 // experiments (E2-E4 reuse one clustering evaluation, for example).
 type ctx struct {
-	seed  uint64
-	short bool
+	seed    uint64
+	short   bool
+	workers int // goroutine bound for every parallel stage
 
 	suite []*trace.Workload
 	evals []gameEval // filled by ensureEvals (E2-E4)
+}
+
+// subsetOptions is the default subset configuration with the run's
+// worker bound applied.
+func (c *ctx) subsetOptions() subset.Options {
+	opt := subset.DefaultOptions()
+	opt.Workers = c.workers
+	return opt
 }
 
 func (c *ctx) ensureSuite() error {
@@ -88,6 +99,7 @@ func main() {
 		runList = flag.String("run", "", "comma-separated experiment ids (default: all)")
 		seed    = flag.Uint64("seed", 42, "corpus seed")
 		short   = flag.Bool("short", false, "shrink corpus to 48 frames/game for quick runs")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "max goroutines for evaluations and sweeps (results are identical at any count)")
 	)
 	flag.Parse()
 
@@ -113,7 +125,7 @@ func main() {
 		}
 	}
 
-	c := &ctx{seed: *seed, short: *short}
+	c := &ctx{seed: *seed, short: *short, workers: *workers}
 	for _, e := range experiments {
 		if len(selected) > 0 && !selected[e.id] {
 			continue

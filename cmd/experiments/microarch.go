@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -37,7 +38,7 @@ func runE20(c *ctx) error {
 	tab := report.New("subset fidelity on micro-architectural sweeps",
 		"workload", "dimension", "pearson r", "spearman", "parent range", "subset range")
 	for _, w := range c.suite {
-		s, err := subset.Build(w, subset.DefaultOptions())
+		s, err := subset.BuildContext(context.Background(), w, c.subsetOptions())
 		if err != nil {
 			return err
 		}
@@ -49,7 +50,7 @@ func runE20(c *ctx) error {
 			{"tex cache 32K-4M", cacheSweep},
 			{"device tiers", gpu.Tiers()},
 		} {
-			res, err := sweep.Run(w, s, arm.cfgs)
+			res, err := sweep.RunParallel(context.Background(), w, s, arm.cfgs, c.workers)
 			if err != nil {
 				return err
 			}

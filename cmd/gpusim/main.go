@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	gpusim -trace game.trace [-core 1.0] [-mem 1.0] [-frames]
+//	gpusim -trace game.trace [-core 1.0] [-mem 1.0] [-frames] [-workers N]
 //
 // It prints the total runtime, FPS and aggregate statistics; -frames
 // additionally lists per-frame times.
@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 
 	"repro/internal/charz"
@@ -30,6 +31,7 @@ func main() {
 		perFrame  = flag.Bool("frames", false, "print per-frame times")
 		breakdown = flag.Bool("breakdown", false, "print workload characterization (bottlenecks, traffic)")
 		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "max goroutines for frame pricing (output is identical at any count)")
 	)
 	flag.Parse()
 	if *tracePath == "" {
@@ -44,13 +46,13 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	if err := run(ctx, *tracePath, *core, *mem, *perFrame, *breakdown); err != nil {
+	if err := run(ctx, *tracePath, *core, *mem, *perFrame, *breakdown, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "gpusim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, path string, core, mem float64, perFrame, breakdown bool) error {
+func run(ctx context.Context, path string, core, mem float64, perFrame, breakdown bool, workers int) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -65,7 +67,7 @@ func run(ctx context.Context, path string, core, mem float64, perFrame, breakdow
 	if err != nil {
 		return err
 	}
-	res, err := sim.RunContext(ctx)
+	res, err := sim.RunParallel(ctx, workers)
 	if err != nil {
 		return err
 	}

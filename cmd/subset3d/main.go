@@ -17,6 +17,10 @@
 // with a diagnostics summary instead of an error. Without it the first
 // problem aborts the run. -timeout bounds the whole run; Ctrl-C
 // cancels it the same way.
+//
+// -workers bounds the goroutine fan-out of the pipeline's hot loops
+// (default GOMAXPROCS). The output is bit-identical at any worker
+// count; the flag trades wall-clock time only.
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 
 	"repro/internal/core"
@@ -41,6 +46,7 @@ func main() {
 		streamIn  = flag.String("stream", "", "frame-stream trace to subset in one bounded-memory pass")
 		lenient   = flag.Bool("lenient", false, "skip damaged records/frames and report diagnostics instead of failing")
 		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "max goroutines for clustering evaluation, phase detection and the validation sweep (output is identical at any count)")
 	)
 	flag.Parse()
 	if (*tracePath == "") == (*streamIn == "") {
@@ -61,7 +67,7 @@ func main() {
 	if *streamIn != "" {
 		err = runStream(ctx, *streamIn, *threshold, *interval, *lenient)
 	} else {
-		err = run(ctx, *tracePath, *threshold, *interval, *fast, *lenient)
+		err = run(ctx, *tracePath, *threshold, *interval, *fast, *lenient, *workers)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "subset3d:", err)
@@ -102,7 +108,7 @@ func runStream(ctx context.Context, path string, threshold float64, interval int
 	return nil
 }
 
-func run(ctx context.Context, path string, threshold float64, interval int, fast, lenient bool) error {
+func run(ctx context.Context, path string, threshold float64, interval int, fast, lenient bool, workers int) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -117,6 +123,7 @@ func run(ctx context.Context, path string, threshold float64, interval int, fast
 	opt.Subset.Phase.IntervalFrames = interval
 	opt.SkipClusteringEval = fast
 	opt.Lenient = lenient
+	opt.Workers = workers
 	s, err := core.New(opt)
 	if err != nil {
 		return err

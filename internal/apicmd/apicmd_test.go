@@ -51,7 +51,7 @@ func TestDeltaEncodingCompresses(t *testing.T) {
 	p.Textures = 80
 	p.VSPool = 6
 	p.PSPool = 16
-	w, err := synth.Generate(p, 81)
+	w, err := tracetest.CachedWorkload(p, 81)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -76,7 +76,7 @@ func TestCharacterizeSyntheticGame(t *testing.T) {
 	p.Textures = 80
 	p.VSPool = 6
 	p.PSPool = 16
-	w, err := synth.Generate(p, 71)
+	w, err := tracetest.CachedWorkload(p, 71)
 	if err != nil {
 		t.Fatal(err)
 	}

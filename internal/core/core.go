@@ -57,6 +57,15 @@ type Options struct {
 	// — instead of rejecting it outright. The run still fails if
 	// nothing usable survives.
 	Lenient bool
+
+	// Workers bounds the goroutine fan-out of every pipeline stage:
+	// clustering evaluation, phase detection, subset clustering and the
+	// validation sweep (<= 0 selects GOMAXPROCS, 1 runs fully
+	// sequential). It governs wall-clock time only — the Report is
+	// bit-identical at any worker count, an invariant the determinism
+	// tests assert. Workers overrides Subset.Workers for the stages Run
+	// drives.
+	Workers int
 }
 
 // DefaultOptions returns the experiment configuration.
@@ -175,7 +184,7 @@ func (s *Subsetter) RunContext(ctx context.Context, w *trace.Workload) (*Report,
 		if err != nil {
 			return nil, err
 		}
-		wr, err := metrics.EvaluateWorkload(sim, w, fc, s.opt.OutlierThreshold)
+		wr, err := metrics.EvaluateWorkloadContext(ctx, sim, w, fc, s.opt.OutlierThreshold, s.opt.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -185,7 +194,11 @@ func (s *Subsetter) RunContext(ctx context.Context, w *trace.Workload) (*Report,
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: canceled before subset build: %w", err)
 	}
-	sub, err := subset.Build(w, s.opt.Subset)
+	sopt := s.opt.Subset
+	if s.opt.Workers != 0 {
+		sopt.Workers = s.opt.Workers
+	}
+	sub, err := subset.BuildContext(ctx, w, sopt)
 	if err != nil {
 		return nil, err
 	}
@@ -197,7 +210,7 @@ func (s *Subsetter) RunContext(ctx context.Context, w *trace.Workload) (*Report,
 	rep.SizeRatio = sub.SizeRatio()
 
 	if len(s.opt.ValidationClocks) >= 2 {
-		res, err := sweep.RunContext(ctx, w, sub, sweep.CoreClockSweep(s.opt.Oracle, s.opt.ValidationClocks))
+		res, err := sweep.RunParallel(ctx, w, sub, sweep.CoreClockSweep(s.opt.Oracle, s.opt.ValidationClocks), s.opt.Workers)
 		if err != nil {
 			return nil, err
 		}

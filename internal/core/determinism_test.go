@@ -1,0 +1,103 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/synth"
+	"repro/internal/tracetest"
+)
+
+// detProfiles returns the three-game corpus shrunk to determinism-test
+// scale: small enough that the full pipeline (clustering evaluation,
+// phase detection, subset build, validation sweep) runs in well under a
+// second per worker count.
+func detProfiles() []synth.Profile {
+	ps := synth.SuiteProfiles()
+	for i := range ps {
+		ps[i].Frames = 16
+		ps[i].MaterialsPerScene = 30
+		ps[i].SharedMaterials = 8
+		ps[i].Textures = 60
+		ps[i].VSPool = 6
+		ps[i].PSPool = 12
+	}
+	return ps
+}
+
+// TestReportDeterministicAcrossWorkerCounts is the pipeline's
+// determinism contract: the same workload must produce a byte-identical
+// Report whether the stages run sequentially (Workers=1), on the
+// explicit parallel path (Workers=4 — exercised even when GOMAXPROCS
+// is 1), or at the default width. Both the structured Report and its
+// rendering are compared, across all three corpus profiles and two
+// seeds each.
+func TestReportDeterministicAcrossWorkerCounts(t *testing.T) {
+	counts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, p := range detProfiles() {
+		for _, seed := range []uint64{7, 1234} {
+			w, err := tracetest.CachedWorkload(p, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var refRep *Report
+			var refText []byte
+			var refWorkers int
+			for _, workers := range counts {
+				opt := DefaultOptions()
+				opt.Workers = workers
+				s, err := New(opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := s.Run(w)
+				if err != nil {
+					t.Fatalf("%s seed %d workers %d: %v", p.Name, seed, workers, err)
+				}
+				var buf bytes.Buffer
+				rep.Render(&buf)
+				if refRep == nil {
+					refRep, refText, refWorkers = rep, buf.Bytes(), workers
+					continue
+				}
+				if !reflect.DeepEqual(rep, refRep) {
+					t.Errorf("%s seed %d: report differs between workers=%d and workers=%d",
+						p.Name, seed, refWorkers, workers)
+				}
+				if !bytes.Equal(buf.Bytes(), refText) {
+					t.Errorf("%s seed %d: rendered report differs between workers=%d and workers=%d:\n--- workers=%d\n%s\n--- workers=%d\n%s",
+						p.Name, seed, refWorkers, workers, refWorkers, refText, workers, buf.Bytes())
+				}
+			}
+		}
+	}
+}
+
+// TestWorkersStaysOutOfReport guards the invariant the determinism
+// test depends on: the worker count must never leak into the Report
+// (e.g. via embedded options), or byte-identity across counts becomes
+// unachievable by construction.
+func TestWorkersStaysOutOfReport(t *testing.T) {
+	if _, ok := reflect.TypeOf(Report{}).FieldByName("Workers"); ok {
+		t.Fatal("Report carries a Workers field")
+	}
+	sub, ok := reflect.TypeOf(Report{}).FieldByName("Subset")
+	if !ok {
+		t.Fatal("Report lost its Subset field")
+	}
+	if _, ok := sub.Type.Elem().FieldByName("Workers"); ok {
+		t.Fatal("subset.Subset carries a Workers field — it would leak into the Report")
+	}
+	det, ok := reflect.TypeOf(Report{}).FieldByName("Detection")
+	if !ok {
+		t.Fatal("Report lost its Detection field")
+	}
+	opt, ok := det.Type.FieldByName("Opt")
+	if ok {
+		if _, leak := opt.Type.FieldByName("Workers"); leak {
+			t.Fatal("phase.Options carries a Workers field — it would leak into the Report via Detection.Opt")
+		}
+	}
+}

@@ -1,11 +1,13 @@
 package features
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
 	"strconv"
 
+	"repro/internal/parallel"
 	"repro/internal/trace"
 )
 
@@ -13,26 +15,47 @@ import (
 // a header row (frame, draw, material, then the feature names) and one
 // row per draw call. This is the interchange path to external analysis
 // tooling (spreadsheets, Python notebooks) for feature studies beyond
-// the built-in ablations.
+// the built-in ablations. Characterization fans out across GOMAXPROCS
+// goroutines; use WriteCSVContext to bound it.
 func (e *Extractor) WriteCSV(out io.Writer, frames []trace.Frame) error {
-	w := csv.NewWriter(out)
+	return e.WriteCSVContext(context.Background(), out, frames, 0)
+}
+
+// WriteCSVContext is WriteCSV with cancellation and at most workers
+// goroutines (<= 0 selects GOMAXPROCS): per-frame characterization —
+// feature extraction and number formatting, the expensive part — runs
+// one frame per task, and the finished rows are written sequentially
+// in frame order, so the emitted CSV is byte-identical at any worker
+// count.
+func (e *Extractor) WriteCSVContext(ctx context.Context, out io.Writer, frames []trace.Frame, workers int) error {
 	header := append([]string{"frame", "draw", "material"}, Names()...)
-	if err := w.Write(header); err != nil {
-		return fmt.Errorf("features: writing CSV header: %w", err)
-	}
-	row := make([]string, len(header))
-	vec := make([]float64, NumFeatures)
-	for fi := range frames {
+	frameRows, err := parallel.Map(ctx, workers, len(frames), func(_ context.Context, fi int) ([][]string, error) {
 		f := &frames[fi]
+		rows := make([][]string, len(f.Draws))
+		vec := make([]float64, NumFeatures)
 		for di := range f.Draws {
 			d := &f.Draws[di]
 			e.DrawInto(d, vec)
+			row := make([]string, len(header))
 			row[0] = strconv.Itoa(fi)
 			row[1] = strconv.Itoa(di)
 			row[2] = strconv.FormatUint(uint64(d.MaterialID), 10)
 			for j, v := range vec {
 				row[3+j] = strconv.FormatFloat(v, 'g', 8, 64)
 			}
+			rows[di] = row
+		}
+		return rows, nil
+	})
+	if err != nil {
+		return fmt.Errorf("features: characterizing frames: %w", err)
+	}
+	w := csv.NewWriter(out)
+	if err := w.Write(header); err != nil {
+		return fmt.Errorf("features: writing CSV header: %w", err)
+	}
+	for fi, rows := range frameRows {
+		for di, row := range rows {
 			if err := w.Write(row); err != nil {
 				return fmt.Errorf("features: writing CSV row %d/%d: %w", fi, di, err)
 			}

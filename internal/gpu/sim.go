@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/parallel"
 	"repro/internal/shader"
 	"repro/internal/trace"
 )
@@ -269,6 +270,27 @@ func (s *Simulator) RunContext(ctx context.Context) (RunResult, error) {
 		}
 		t := s.FrameNs(&s.w.Frames[i])
 		res.FrameNs[i] = t
+		res.TotalNs += t
+	}
+	return res, nil
+}
+
+// RunParallel prices every frame across at most workers goroutines
+// (<= 0 selects GOMAXPROCS). Frames are priced independently —
+// DrawCost is read-only on the simulator — and TotalNs is folded over
+// the per-frame times in frame order, so the result is bit-identical
+// to RunContext at any worker count. Sweeps that already parallelize
+// across configurations should keep using RunContext inside each task
+// rather than nesting pools.
+func (s *Simulator) RunParallel(ctx context.Context, workers int) (RunResult, error) {
+	frameNs, err := parallel.Map(ctx, workers, len(s.w.Frames), func(_ context.Context, i int) (float64, error) {
+		return s.FrameNs(&s.w.Frames[i]), nil
+	})
+	if err != nil {
+		return RunResult{}, fmt.Errorf("gpu: parallel run: %w", err)
+	}
+	res := RunResult{ConfigName: s.cfg.Name, FrameNs: frameNs}
+	for _, t := range frameNs {
 		res.TotalNs += t
 	}
 	return res, nil

@@ -5,10 +5,12 @@
 package metrics
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/dcmath"
+	"repro/internal/parallel"
 	"repro/internal/subset"
 	"repro/internal/trace"
 )
@@ -93,17 +95,34 @@ type WorkloadReport struct {
 	TotalOutliers int
 }
 
-// EvaluateWorkload clusters and evaluates every frame.
+// EvaluateWorkload clusters and evaluates every frame across
+// GOMAXPROCS goroutines. Use EvaluateWorkloadContext to bound the
+// fan-out or cancel mid-run.
 func EvaluateWorkload(o subset.CostOracle, w *trace.Workload, fc *subset.FrameClusterer, outlierThresh float64) (WorkloadReport, error) {
-	rep := WorkloadReport{Name: w.Name}
-	var errSum, effSum float64
-	for fi := range w.Frames {
+	return EvaluateWorkloadContext(context.Background(), o, w, fc, outlierThresh, 0)
+}
+
+// EvaluateWorkloadContext clusters and evaluates every frame — the
+// pipeline's documented expensive path: it prices every draw of every
+// frame — fanning the per-frame work across at most workers goroutines
+// (<= 0 selects GOMAXPROCS). Per-frame reports land in frame order and
+// the aggregates are folded sequentially over them, so the report is
+// bit-identical at any worker count. The oracle must be safe for
+// concurrent use (*gpu.Simulator is).
+func EvaluateWorkloadContext(ctx context.Context, o subset.CostOracle, w *trace.Workload, fc *subset.FrameClusterer, outlierThresh float64, workers int) (WorkloadReport, error) {
+	frames, err := parallel.Map(ctx, workers, len(w.Frames), func(_ context.Context, fi int) (FrameReport, error) {
 		cf, err := fc.ClusterFrame(&w.Frames[fi], fi)
 		if err != nil {
-			return WorkloadReport{}, fmt.Errorf("metrics: frame %d: %w", fi, err)
+			return FrameReport{}, fmt.Errorf("metrics: frame %d: %w", fi, err)
 		}
-		fr := EvaluateFrame(o, &w.Frames[fi], &cf, outlierThresh)
-		rep.Frames = append(rep.Frames, fr)
+		return EvaluateFrame(o, &w.Frames[fi], &cf, outlierThresh), nil
+	})
+	if err != nil {
+		return WorkloadReport{}, err
+	}
+	rep := WorkloadReport{Name: w.Name, Frames: frames}
+	var errSum, effSum float64
+	for _, fr := range frames {
 		errSum += fr.RelError
 		effSum += fr.Efficiency
 		if fr.RelError > rep.MaxError {

@@ -94,7 +94,7 @@ func TestEvaluateWorkload(t *testing.T) {
 	p.Textures = 80
 	p.VSPool = 6
 	p.PSPool = 16
-	w, err := synth.Generate(p, 11)
+	w, err := tracetest.CachedWorkload(p, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func TestClusteringBeatsRandomAtEqualBudget(t *testing.T) {
 	p.Textures = 80
 	p.VSPool = 6
 	p.PSPool = 16
-	w, err := synth.Generate(p, 13)
+	w, err := tracetest.CachedWorkload(p, 13)
 	if err != nil {
 		t.Fatal(err)
 	}

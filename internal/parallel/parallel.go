@@ -1,0 +1,150 @@
+// Package parallel is the deterministic fan-out primitive used by
+// every hot loop in the system: per-frame clustering, the per-draw
+// clustering evaluation, config-grid pricing sweeps and per-frame
+// characterization.
+//
+// The contract that makes it safe to drop into a reproduction pipeline
+// is determinism: results are delivered in input order regardless of
+// which worker finishes first, tasks receive no shared mutable state
+// from the pool, and a run with N workers produces output bit-identical
+// to a run with 1 worker. Parallelism here changes wall-clock time and
+// nothing else — an invariant the determinism tests in internal/core
+// assert across worker counts.
+//
+// Error semantics: the first failure cancels the remaining work
+// promptly (tasks observe cancellation through their context), every
+// started task is waited for — no goroutine outlives a call — and the
+// error returned is the one from the lowest-indexed task that was
+// observed to fail, which keeps error identity stable across worker
+// counts in the common single-failure case.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count request: values <= 0 select
+// GOMAXPROCS (the CLI default for -workers flags), anything else is
+// returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs f(ctx, i) for every i in [0, n) using at most
+// workers goroutines (workers <= 0 selects GOMAXPROCS). It returns
+// after every started task has finished.
+//
+// If any task fails, the shared context is canceled so in-flight tasks
+// can stop early, no further tasks are started, and the error of the
+// lowest-indexed observed failure is returned. If the parent context is
+// canceled mid-run, ForEach stops issuing tasks and returns the
+// context's error.
+//
+// With workers == 1 (or n <= 1) tasks run inline on the calling
+// goroutine in index order with no pool at all, which is also the
+// reference semantics the parallel path must reproduce.
+func ForEach(ctx context.Context, workers, n int, f func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := f(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next    atomic.Int64
+		mu      sync.Mutex
+		errIdx  = n // index of the lowest observed failure
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if i < errIdx {
+			errIdx, firstEr = i, err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				// Stop claiming work once canceled. Record the parent's
+				// error (deadline, Ctrl-C) so callers see it; internal
+				// cancellation after a task failure is not an error of
+				// task i, so it is not recorded on its behalf.
+				if wctx.Err() != nil {
+					if perr := ctx.Err(); perr != nil {
+						fail(i, perr)
+					}
+					return
+				}
+				if err := f(wctx, i); err != nil {
+					fail(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// firstEr is nil when every task completed; like the sequential
+	// path, a cancellation that arrives after the last task is not an
+	// error (a skipped task records the parent's error above).
+	return firstEr
+}
+
+// Map runs f over [0, n) with at most workers goroutines and returns
+// the results in index order regardless of completion order. Error and
+// cancellation semantics are those of ForEach; on error the partial
+// results are discarded and nil is returned.
+func Map[R any](ctx context.Context, workers, n int, f func(ctx context.Context, i int) (R, error)) ([]R, error) {
+	out := make([]R, n)
+	err := ForEach(ctx, workers, n, func(ctx context.Context, i int) error {
+		r, err := f(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MapSlice is Map over the elements of a slice: f receives each item by
+// index and the results arrive in input order.
+func MapSlice[T, R any](ctx context.Context, workers int, items []T, f func(ctx context.Context, i int, item T) (R, error)) ([]R, error) {
+	return Map(ctx, workers, len(items), func(ctx context.Context, i int) (R, error) {
+		return f(ctx, i, items[i])
+	})
+}

@@ -1,0 +1,260 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// checkNoLeaks fails the test if the goroutine count does not settle
+// back to its value at registration time. In-tree goleak substitute:
+// the runtime needs a moment to reap exited goroutines, so it polls.
+func checkNoLeaks(t *testing.T) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			if n := runtime.NumGoroutine(); n <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Errorf("goroutines leaked: %d now, %d at test start", runtime.NumGoroutine(), base)
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	})
+}
+
+func TestWorkersNormalization(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d", got)
+	}
+}
+
+func TestMapOrderPreserved(t *testing.T) {
+	checkNoLeaks(t)
+	const n = 500
+	for _, workers := range []int{1, 2, 4, 8, 33} {
+		got, err := Map(context.Background(), workers, n, func(_ context.Context, i int) (int, error) {
+			if i%7 == 0 {
+				runtime.Gosched() // shuffle completion order
+			}
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapSliceOrderPreserved(t *testing.T) {
+	checkNoLeaks(t)
+	items := []string{"a", "bb", "ccc", "dddd"}
+	got, err := MapSlice(context.Background(), 4, items, func(_ context.Context, i int, s string) (int, error) {
+		return len(s), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Errorf("got[%d] = %d, want %d", i, v, i+1)
+		}
+	}
+}
+
+func TestForEachEmptyAndSingle(t *testing.T) {
+	checkNoLeaks(t)
+	if err := ForEach(context.Background(), 4, 0, func(context.Context, int) error {
+		t.Fatal("task ran for n=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	if err := ForEach(context.Background(), 8, 1, func(_ context.Context, i int) error {
+		ran++
+		return nil
+	}); err != nil || ran != 1 {
+		t.Fatalf("n=1: err=%v ran=%d", err, ran)
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	checkNoLeaks(t)
+	const workers = 3
+	var inFlight, maxSeen atomic.Int64
+	err := ForEach(context.Background(), workers, 100, func(context.Context, int) error {
+		cur := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			m := maxSeen.Load()
+			if cur <= m || maxSeen.CompareAndSwap(m, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := maxSeen.Load(); m > workers {
+		t.Errorf("observed %d concurrent tasks, limit %d", m, workers)
+	}
+}
+
+func TestForEachLowestIndexedError(t *testing.T) {
+	checkNoLeaks(t)
+	errWant := errors.New("boom-3")
+	for _, workers := range []int{1, 4} {
+		err := ForEach(context.Background(), workers, 64, func(_ context.Context, i int) error {
+			if i == 3 {
+				return errWant
+			}
+			if i > 40 {
+				return fmt.Errorf("boom-%d", i)
+			}
+			return nil
+		})
+		if !errors.Is(err, errWant) {
+			t.Errorf("workers=%d: err = %v, want %v", workers, err, errWant)
+		}
+	}
+}
+
+func TestForEachErrorCancelsRemainingWork(t *testing.T) {
+	checkNoLeaks(t)
+	var started atomic.Int64
+	errBoom := errors.New("boom")
+	err := ForEach(context.Background(), 2, 10_000, func(ctx context.Context, i int) error {
+		started.Add(1)
+		if i == 0 {
+			return errBoom
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(time.Millisecond):
+		}
+		return nil
+	})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v", err)
+	}
+	if s := started.Load(); s > 100 {
+		t.Errorf("%d tasks started after early failure; cancellation not prompt", s)
+	}
+}
+
+func TestForEachParentCancellation(t *testing.T) {
+	checkNoLeaks(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	done := make(chan error, 1)
+	release := make(chan struct{})
+	go func() {
+		done <- ForEach(ctx, 4, 1_000_000, func(ctx context.Context, i int) error {
+			ran.Add(1)
+			if i < 4 {
+				<-release // hold the first wave until cancel is issued
+			}
+			return nil
+		})
+	}()
+	cancel()
+	close(release)
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ForEach did not return promptly after cancel")
+	}
+	if r := ran.Load(); r > 1000 {
+		t.Errorf("%d tasks ran after cancellation", r)
+	}
+}
+
+func TestForEachPreCanceledContext(t *testing.T) {
+	checkNoLeaks(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		ran := false
+		err := ForEach(ctx, workers, 100, func(context.Context, int) error {
+			ran = true
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v", workers, err)
+		}
+		if workers == 1 && ran {
+			t.Error("sequential path ran a task on a pre-canceled context")
+		}
+	}
+}
+
+func TestMapErrorDiscardsResults(t *testing.T) {
+	checkNoLeaks(t)
+	got, err := Map(context.Background(), 4, 16, func(_ context.Context, i int) (int, error) {
+		if i == 5 {
+			return 0, errors.New("nope")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if got != nil {
+		t.Errorf("partial results returned on error: %v", got)
+	}
+}
+
+// TestMapDeterministicAcrossWorkerCounts is the package-level statement
+// of the system invariant: identical outputs at any worker count.
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	checkNoLeaks(t)
+	run := func(workers int) []float64 {
+		out, err := Map(context.Background(), workers, 300, func(_ context.Context, i int) (float64, error) {
+			v := 1.0
+			for k := 0; k < i%17; k++ {
+				v = v*1.25 + float64(i)
+			}
+			return v, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+		got := run(workers)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: result[%d] = %v, want %v", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}

@@ -15,11 +15,13 @@
 package phase
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
 
+	"repro/internal/parallel"
 	"repro/internal/shader"
 	"repro/internal/trace"
 )
@@ -213,6 +215,17 @@ func Cosine(a, b Vector) float64 {
 // be short), computes each interval's signature, and assigns phases by
 // signature equality in first-seen order.
 func Detect(w *trace.Workload, o Options) (Detection, error) {
+	return DetectContext(context.Background(), w, o, 0)
+}
+
+// DetectContext is Detect with cancellation and bounded fan-out:
+// interval characterization — the per-frame shader-vector accumulation
+// that dominates detection time — runs across at most workers
+// goroutines (<= 0 selects GOMAXPROCS), while phase assignment stays a
+// sequential pass over the characterized intervals in capture order.
+// First-seen phase numbering therefore never depends on scheduling and
+// the Detection is bit-identical at any worker count.
+func DetectContext(ctx context.Context, w *trace.Workload, o Options, workers int) (Detection, error) {
 	if err := o.Validate(); err != nil {
 		return Detection{}, err
 	}
@@ -220,20 +233,36 @@ func Detect(w *trace.Workload, o Options) (Detection, error) {
 	if n == 0 {
 		return Detection{}, fmt.Errorf("phase: workload has no frames")
 	}
-	det := Detection{Opt: o}
-	sigToPhase := map[Signature]int{}
-	var reps []Vector // per phase, the founding vector (cosine mode)
-	numPhases := 0
+	starts := make([]int, 0, (n+o.IntervalFrames-1)/o.IntervalFrames)
 	for start := 0; start < n; start += o.IntervalFrames {
+		starts = append(starts, start)
+	}
+	type charzed struct {
+		start, end int
+		v          Vector
+		sig        Signature
+	}
+	chars, err := parallel.MapSlice(ctx, workers, starts, func(_ context.Context, _ int, start int) (charzed, error) {
 		end := start + o.IntervalFrames
 		if end > n {
 			end = n
 		}
 		v, err := IntervalVector(w, start, end)
 		if err != nil {
-			return Detection{}, err
+			return charzed{}, err
 		}
-		sig := v.Signature(o)
+		return charzed{start: start, end: end, v: v, sig: v.Signature(o)}, nil
+	})
+	if err != nil {
+		return Detection{}, err
+	}
+
+	det := Detection{Opt: o}
+	sigToPhase := map[Signature]int{}
+	var reps []Vector // per phase, the founding vector (cosine mode)
+	numPhases := 0
+	for _, c := range chars {
+		v, sig := c.v, c.sig
 		var id int
 		var seen bool
 		if o.MatchCosine > 0 {
@@ -260,7 +289,7 @@ func Detect(w *trace.Workload, o Options) (Detection, error) {
 			numPhases++
 			det.Representatives = append(det.Representatives, len(det.Intervals))
 		}
-		det.Intervals = append(det.Intervals, Interval{Start: start, End: end, Sig: sig, Phase: id})
+		det.Intervals = append(det.Intervals, Interval{Start: c.start, End: c.end, Sig: sig, Phase: id})
 	}
 	det.NumPhases = numPhases
 	return det, nil

@@ -21,7 +21,7 @@ func smallGame(t *testing.T) *trace.Workload {
 	p.Textures = 120
 	p.VSPool = 8
 	p.PSPool = 24
-	w, err := synth.Generate(p, 21)
+	w, err := tracetest.CachedWorkload(p, 21)
 	if err != nil {
 		t.Fatal(err)
 	}

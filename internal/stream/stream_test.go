@@ -9,6 +9,7 @@ import (
 	"repro/internal/subset"
 	"repro/internal/synth"
 	"repro/internal/trace"
+	"repro/internal/tracetest"
 )
 
 func streamGame(t *testing.T) *trace.Workload {
@@ -21,7 +22,7 @@ func streamGame(t *testing.T) *trace.Workload {
 	p.Textures = 80
 	p.VSPool = 6
 	p.PSPool = 16
-	w, err := synth.Generate(p, 61)
+	w, err := tracetest.CachedWorkload(p, 61)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package subset
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -61,6 +62,12 @@ type Options struct {
 	// frame-to-frame jitter in the reconstruction; the trade is
 	// exercised in subset tests.
 	FramesPerPhase int
+
+	// Workers bounds the goroutines used for phase characterization and
+	// per-frame clustering during Build (<= 0 selects GOMAXPROCS, 1 is
+	// fully sequential). The built subset is bit-identical at any
+	// worker count; Workers only changes wall-clock time.
+	Workers int
 }
 
 // DefaultOptions returns the experiment configuration.
@@ -72,6 +79,14 @@ func DefaultOptions() Options {
 // of each phase's representative interval (the middle one by default),
 // cluster them, and keep only cluster representatives with weights.
 func Build(w *trace.Workload, opt Options) (*Subset, error) {
+	return BuildContext(context.Background(), w, opt)
+}
+
+// BuildContext is Build with cancellation. Phase characterization and
+// the clustering of the kept frames fan out across opt.Workers
+// goroutines; the frame selection and assembly stay sequential, so the
+// subset is bit-identical at any worker count.
+func BuildContext(ctx context.Context, w *trace.Workload, opt Options) (*Subset, error) {
 	if opt.FramesPerPhase < 0 {
 		return nil, fmt.Errorf("subset: FramesPerPhase %d < 0", opt.FramesPerPhase)
 	}
@@ -79,7 +94,7 @@ func Build(w *trace.Workload, opt Options) (*Subset, error) {
 	if perPhase == 0 {
 		perPhase = 1
 	}
-	det, err := phase.Detect(w, opt.Phase)
+	det, err := phase.DetectContext(ctx, w, opt.Phase, opt.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -92,27 +107,37 @@ func Build(w *trace.Workload, opt Options) (*Subset, error) {
 		phaseFrames[iv.Phase] += iv.End - iv.Start
 	}
 	s := &Subset{Parent: w, Detection: det, ParentDraws: w.NumDraws()}
+
+	// Select the kept frames sequentially, cluster them in parallel,
+	// then assemble in selection order.
+	var keep []int
+	var meta []Frame // Draws left nil until clustering lands
 	for p, ii := range det.Representatives {
 		iv := det.Intervals[ii]
 		for _, fi := range pickFrames(iv.Start, iv.End, perPhase) {
-			cf, err := fc.ClusterFrame(&w.Frames[fi], fi)
-			if err != nil {
-				return nil, err
-			}
-			sf := Frame{
+			keep = append(keep, fi)
+			meta = append(meta, Frame{
 				ParentFrame: fi,
 				Phase:       p,
-				Draws:       make([]trace.DrawCall, len(cf.RepDraws)),
-				Weights:     cf.Weights,
 				// Each kept frame stands for an equal share of the
 				// phase's parent frames.
 				PhaseScale: float64(phaseFrames[p]) / float64(minInt(perPhase, iv.End-iv.Start)),
-			}
-			for c, di := range cf.RepDraws {
-				sf.Draws[c] = w.Frames[fi].Draws[di]
-			}
-			s.Frames = append(s.Frames, sf)
+			})
 		}
+	}
+	cfs, err := fc.ClusterFrames(ctx, w.Frames, keep, opt.Workers)
+	if err != nil {
+		return nil, err
+	}
+	for i, cf := range cfs {
+		sf := meta[i]
+		fi := sf.ParentFrame
+		sf.Weights = cf.Weights
+		sf.Draws = make([]trace.DrawCall, len(cf.RepDraws))
+		for c, di := range cf.RepDraws {
+			sf.Draws[c] = w.Frames[fi].Draws[di]
+		}
+		s.Frames = append(s.Frames, sf)
 	}
 	return s, nil
 }

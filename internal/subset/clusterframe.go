@@ -7,12 +7,14 @@
 package subset
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cluster"
 	"repro/internal/dcmath"
 	"repro/internal/features"
 	"repro/internal/linalg"
+	"repro/internal/parallel"
 	"repro/internal/trace"
 )
 
@@ -199,6 +201,26 @@ func newClusterer(ex *features.Extractor, m Method) (*FrameClusterer, error) {
 		}
 	}
 	return &FrameClusterer{ex: ex, method: m, featIdx: idx}, nil
+}
+
+// ClusterFrames clusters the frames at the given indices concurrently
+// with at most workers goroutines (workers <= 0 selects GOMAXPROCS),
+// returning results in idx order. A nil idx clusters every frame. Each
+// frame's clustering is fully independent — normalizers, PCA fits, and
+// the k-means RNG (seeded per frame index) are all per-call state — so
+// the result is bit-identical at any worker count.
+func (fc *FrameClusterer) ClusterFrames(ctx context.Context, frames []trace.Frame, idx []int, workers int) ([]ClusteredFrame, error) {
+	if idx == nil {
+		return parallel.Map(ctx, workers, len(frames), func(_ context.Context, i int) (ClusteredFrame, error) {
+			return fc.ClusterFrame(&frames[i], i)
+		})
+	}
+	return parallel.MapSlice(ctx, workers, idx, func(_ context.Context, _ int, fi int) (ClusteredFrame, error) {
+		if fi < 0 || fi >= len(frames) {
+			return ClusteredFrame{}, fmt.Errorf("subset: frame index %d outside [0, %d)", fi, len(frames))
+		}
+		return fc.ClusterFrame(&frames[fi], fi)
+	})
 }
 
 // ClusterFrame clusters one frame and selects representatives.

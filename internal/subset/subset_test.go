@@ -21,7 +21,7 @@ func testGame(t *testing.T) *trace.Workload {
 	p.Textures = 100
 	p.VSPool = 8
 	p.PSPool = 24
-	w, err := synth.Generate(p, 31)
+	w, err := tracetest.CachedWorkload(p, 31)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,11 +1,13 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dcmath"
 	"repro/internal/gpu"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/subset"
 	"repro/internal/trace"
 )
@@ -33,21 +35,28 @@ type EnergyResult struct {
 }
 
 // RunEnergy prices the parent and the subset's reconstruction on every
-// config under the power model, and compares min-EDP decisions.
+// config under the power model, and compares min-EDP decisions. The
+// grid fans out across GOMAXPROCS workers; use RunEnergyParallel to
+// bound the fan-out or cancel mid-sweep.
 func RunEnergy(w *trace.Workload, s *subset.Subset, pm gpu.PowerModel, cfgs []gpu.Config) (EnergyResult, error) {
+	return RunEnergyParallel(context.Background(), w, s, pm, cfgs, 0)
+}
+
+// RunEnergyParallel is RunEnergy with cancellation and at most workers
+// goroutines (<= 0 selects GOMAXPROCS), one config per task. The
+// min-EDP argmin is taken sequentially over the points in grid order,
+// so the decision is bit-identical at any worker count.
+func RunEnergyParallel(ctx context.Context, w *trace.Workload, s *subset.Subset, pm gpu.PowerModel, cfgs []gpu.Config, workers int) (EnergyResult, error) {
 	if err := pm.Validate(); err != nil {
 		return EnergyResult{}, err
 	}
 	if len(cfgs) < 2 {
 		return EnergyResult{}, fmt.Errorf("sweep: need at least 2 configs, have %d", len(cfgs))
 	}
-	res := EnergyResult{Points: make([]EnergyPoint, len(cfgs))}
-	parentEDP := make([]float64, len(cfgs))
-	subsetEDP := make([]float64, len(cfgs))
-	for i, cfg := range cfgs {
+	points, err := parallel.MapSlice(ctx, workers, cfgs, func(_ context.Context, i int, cfg gpu.Config) (EnergyPoint, error) {
 		sim, err := gpu.NewSimulator(cfg, w)
 		if err != nil {
-			return EnergyResult{}, err
+			return EnergyPoint{}, err
 		}
 		run, tot := sim.RunTotals()
 		pe := pm.Energy(cfg, tot)
@@ -55,16 +64,24 @@ func RunEnergy(w *trace.Workload, s *subset.Subset, pm gpu.PowerModel, cfgs []gp
 		tn, cn, mn, tb := s.EstimateParentTotals(sim)
 		se := pm.Energy(cfg, gpu.Totals{TotalNs: tn, ComputeNs: cn, MemoryNs: mn, TrafficBytes: tb})
 
-		res.Points[i] = EnergyPoint{
+		return EnergyPoint{
 			Config: cfg, ParentNs: run.TotalNs, SubsetNs: tn,
 			ParentEnergy: pe, SubsetEnergy: se,
-		}
-		parentEDP[i] = pe.EDPJs
-		subsetEDP[i] = se.EDPJs
-		if pe.EDPJs < parentEDP[res.BestByParentEDP] {
+		}, nil
+	})
+	if err != nil {
+		return EnergyResult{}, err
+	}
+	res := EnergyResult{Points: points}
+	parentEDP := make([]float64, len(cfgs))
+	subsetEDP := make([]float64, len(cfgs))
+	for i, p := range points {
+		parentEDP[i] = p.ParentEnergy.EDPJs
+		subsetEDP[i] = p.SubsetEnergy.EDPJs
+		if parentEDP[i] < parentEDP[res.BestByParentEDP] {
 			res.BestByParentEDP = i
 		}
-		if se.EDPJs < subsetEDP[res.BestBySubsetEDP] {
+		if subsetEDP[i] < subsetEDP[res.BestBySubsetEDP] {
 			res.BestBySubsetEDP = i
 		}
 	}

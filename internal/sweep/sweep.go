@@ -15,6 +15,7 @@ import (
 	"repro/internal/dcmath"
 	"repro/internal/gpu"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/subset"
 	"repro/internal/trace"
 )
@@ -87,28 +88,45 @@ func Run(w *trace.Workload, s *subset.Subset, cfgs []gpu.Config) (Result, error)
 	return RunContext(context.Background(), w, s, cfgs)
 }
 
-// RunContext is Run with cancellation: pricing a large grid on a long
-// parent is the most expensive loop in the system, so it checks the
-// context once per configuration and once per parent frame.
+// RunContext is Run with cancellation, fanning out across GOMAXPROCS
+// workers; use RunParallel to bound the fan-out.
 func RunContext(ctx context.Context, w *trace.Workload, s *subset.Subset, cfgs []gpu.Config) (Result, error) {
+	return RunParallel(ctx, w, s, cfgs, 0)
+}
+
+// RunParallel prices the grid with at most workers goroutines
+// (<= 0 selects GOMAXPROCS), one configuration per task: pricing a
+// large grid on a long parent is the most expensive loop in the
+// system, and every configuration's pricing is independent — each task
+// builds its own simulator and writes only its own grid point. The
+// correlation statistics are folded sequentially over the points in
+// grid order, so the Result is bit-identical at any worker count.
+// Cancellation is checked once per parent frame inside each pricing
+// task.
+func RunParallel(ctx context.Context, w *trace.Workload, s *subset.Subset, cfgs []gpu.Config, workers int) (Result, error) {
 	if len(cfgs) < 2 {
 		return Result{}, fmt.Errorf("sweep: need at least 2 configs, have %d", len(cfgs))
 	}
-	res := Result{Points: make([]Point, len(cfgs))}
-	parent := make([]float64, len(cfgs))
-	sub := make([]float64, len(cfgs))
-	for i, cfg := range cfgs {
+	points, err := parallel.MapSlice(ctx, workers, cfgs, func(ctx context.Context, i int, cfg gpu.Config) (Point, error) {
 		sim, err := gpu.NewSimulator(cfg, w)
 		if err != nil {
-			return Result{}, err
+			return Point{}, err
 		}
 		run, err := sim.RunContext(ctx)
 		if err != nil {
-			return Result{}, fmt.Errorf("sweep: config %d/%d: %w", i+1, len(cfgs), err)
+			return Point{}, fmt.Errorf("sweep: config %d/%d: %w", i+1, len(cfgs), err)
 		}
-		parent[i] = run.TotalNs
-		sub[i] = s.EstimateParentNs(sim)
-		res.Points[i] = Point{Config: cfg, ParentNs: parent[i], SubsetNs: sub[i]}
+		return Point{Config: cfg, ParentNs: run.TotalNs, SubsetNs: s.EstimateParentNs(sim)}, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Points: points}
+	parent := make([]float64, len(cfgs))
+	sub := make([]float64, len(cfgs))
+	for i, p := range points {
+		parent[i] = p.ParentNs
+		sub[i] = p.SubsetNs
 	}
 	res.ParentSpeedups = metrics.Speedups(parent, 0)
 	res.SubsetSpeedups = metrics.Speedups(sub, 0)
@@ -147,18 +165,21 @@ func SubsetOnly(s *subset.Subset, cfgs []gpu.Config) ([]float64, error) {
 	return SubsetOnlyContext(context.Background(), s, cfgs)
 }
 
-// SubsetOnlyContext is SubsetOnly with per-config cancellation.
+// SubsetOnlyContext is SubsetOnly with per-config cancellation across
+// GOMAXPROCS workers; use SubsetOnlyParallel to bound the fan-out.
 func SubsetOnlyContext(ctx context.Context, s *subset.Subset, cfgs []gpu.Config) ([]float64, error) {
-	out := make([]float64, len(cfgs))
-	for i, cfg := range cfgs {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("sweep: canceled at config %d/%d: %w", i+1, len(cfgs), err)
-		}
+	return SubsetOnlyParallel(ctx, s, cfgs, 0)
+}
+
+// SubsetOnlyParallel prices the subset on each config with at most
+// workers goroutines (<= 0 selects GOMAXPROCS); estimates land in grid
+// order.
+func SubsetOnlyParallel(ctx context.Context, s *subset.Subset, cfgs []gpu.Config, workers int) ([]float64, error) {
+	return parallel.MapSlice(ctx, workers, cfgs, func(_ context.Context, i int, cfg gpu.Config) (float64, error) {
 		sim, err := gpu.NewSimulator(cfg, s.Parent)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		out[i] = s.EstimateParentNs(sim)
-	}
-	return out, nil
+		return s.EstimateParentNs(sim), nil
+	})
 }

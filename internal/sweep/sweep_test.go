@@ -8,6 +8,7 @@ import (
 	"repro/internal/subset"
 	"repro/internal/synth"
 	"repro/internal/trace"
+	"repro/internal/tracetest"
 )
 
 func sweepGame(t *testing.T) (*trace.Workload, *subset.Subset) {
@@ -20,7 +21,7 @@ func sweepGame(t *testing.T) (*trace.Workload, *subset.Subset) {
 	p.Textures = 80
 	p.VSPool = 6
 	p.PSPool = 16
-	w, err := synth.Generate(p, 41)
+	w, err := tracetest.CachedWorkload(p, 41)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,38 @@
+package tracetest
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// cachedEntry memoizes one (profile, seed) generation.
+type cachedEntry struct {
+	once sync.Once
+	w    *trace.Workload
+	err  error
+}
+
+// cache maps a profile+seed fingerprint to its *cachedEntry.
+var cache sync.Map
+
+// CachedWorkload returns the synthetic workload for (p, seed),
+// generating it at most once per process; concurrent callers share one
+// generation. Tests and benchmarks that only read a corpus should use
+// this instead of synth.Generate — the suite regenerates the same
+// workloads dozens of times otherwise.
+//
+// The returned workload is SHARED: callers must treat it as read-only.
+// Tests that sanitize, corrupt or otherwise mutate a workload must
+// keep calling synth.Generate for a private copy.
+func CachedWorkload(p synth.Profile, seed uint64) (*trace.Workload, error) {
+	key := fmt.Sprintf("%#v|seed=%d", p, seed)
+	e, _ := cache.LoadOrStore(key, &cachedEntry{})
+	entry := e.(*cachedEntry)
+	entry.once.Do(func() {
+		entry.w, entry.err = synth.Generate(p, seed)
+	})
+	return entry.w, entry.err
+}
