@@ -11,6 +11,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -18,6 +19,8 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // Benchmark is one parsed result line.
@@ -117,7 +120,7 @@ func groupOf(name string) string {
 	return name
 }
 
-func run(matchPat, outPath string) error {
+func run(ctx context.Context, run *obs.Run, matchPat, outPath string) error {
 	var match *regexp.Regexp
 	if matchPat != "" {
 		var err error
@@ -126,10 +129,13 @@ func run(matchPat, outPath string) error {
 		}
 	}
 	out := Output{Env: map[string]string{}}
+	_, psp := obs.StartSpan(ctx, "parse-bench")
+	lines := 0
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
+		lines++
 		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
 			if v, ok := strings.CutPrefix(line, key+": "); ok {
 				out.Env[key] = v
@@ -141,13 +147,24 @@ func run(matchPat, outPath string) error {
 		}
 		out.Benchmarks = append(out.Benchmarks, b)
 	}
+	psp.AddItems(int64(lines))
+	psp.End()
 	if err := sc.Err(); err != nil {
 		return fmt.Errorf("benchjson: reading input: %w", err)
 	}
 	if len(out.Benchmarks) == 0 {
 		return fmt.Errorf("benchjson: no benchmark lines matched")
 	}
+	run.Metrics().Counter("benchjson.lines").Add(int64(lines))
+	run.Metrics().Counter("benchjson.benchmarks").Add(int64(len(out.Benchmarks)))
+
+	_, dsp := obs.StartSpan(ctx, "derive-speedups")
 	out.SpeedupVsSequential = speedups(out.Benchmarks)
+	dsp.AddItems(int64(len(out.SpeedupVsSequential)))
+	dsp.End()
+
+	_, wsp := obs.StartSpan(ctx, "write-json")
+	defer wsp.End()
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
@@ -157,16 +174,35 @@ func run(matchPat, outPath string) error {
 		_, err = os.Stdout.Write(data)
 		return err
 	}
-	return os.WriteFile(outPath, data, 0o644)
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	run.RecordFile("output", outPath)
+	return nil
 }
 
 func main() {
 	var (
 		matchPat = flag.String("match", "", "only keep benchmarks whose name matches this regexp")
 		outPath  = flag.String("o", "-", "output file (- for stdout)")
+		logLevel = flag.String("log-level", "off", "structured logging to stderr: debug, info, warn, error or off")
+		manifest = flag.String("manifest", "", "write the run manifest (stages, metrics, output digest) to this JSON file")
+		pprofDir = flag.String("pprof-dir", "", "write cpu.pprof and heap.pprof to this directory")
 	)
 	flag.Parse()
-	if err := run(*matchPat, *outPath); err != nil {
+	r, stopProf, err := obs.SetupCLI("benchjson", *logLevel, *pprofDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	err = run(r.Context(context.Background()), r, *matchPat, *outPath)
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	if merr := r.WriteManifest(*manifest); err == nil {
+		err = merr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -9,9 +9,15 @@
 // Without -run, all experiments execute in order. -short shrinks the
 // corpus (48 frames per game) for quick iteration; published numbers
 // use the full 717-frame corpus.
+//
+// Failures are reported through the structured logger (default
+// -log-level error) with the experiment id, duration and error class;
+// -manifest out.json exports a run manifest with one stage per
+// experiment, and -pprof-dir writes CPU/heap profiles.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -20,9 +26,11 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/subset"
 	"repro/internal/synth"
 	"repro/internal/trace"
+	"repro/internal/traceerr"
 )
 
 // experiment is one regenerable table/figure.
@@ -94,14 +102,53 @@ func (c *ctx) ensureSuite() error {
 	return nil
 }
 
+// errClass buckets experiment failures for the structured log:
+// ingestion failures keep their traceerr taxonomy, everything else
+// falls back to the generic obs classes.
+func errClass(err error) string {
+	switch {
+	case errors.Is(err, traceerr.ErrTruncated):
+		return "truncated"
+	case errors.Is(err, traceerr.ErrCorruptRecord):
+		return "corrupt-record"
+	case errors.Is(err, traceerr.ErrVersionMismatch):
+		return "version-mismatch"
+	case errors.Is(err, traceerr.ErrInvalidFrame):
+		return "invalid-frame"
+	case errors.Is(err, traceerr.ErrTooLarge):
+		return "too-large"
+	default:
+		return obs.ErrorClass(err)
+	}
+}
+
 func main() {
 	var (
-		runList = flag.String("run", "", "comma-separated experiment ids (default: all)")
-		seed    = flag.Uint64("seed", 42, "corpus seed")
-		short   = flag.Bool("short", false, "shrink corpus to 48 frames/game for quick runs")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "max goroutines for evaluations and sweeps (results are identical at any count)")
+		runList  = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		seed     = flag.Uint64("seed", 42, "corpus seed")
+		short    = flag.Bool("short", false, "shrink corpus to 48 frames/game for quick runs")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "max goroutines for evaluations and sweeps (results are identical at any count)")
+		logLevel = flag.String("log-level", "error", "structured logging to stderr: debug, info, warn, error or off")
+		manifest = flag.String("manifest", "", "write the run manifest (one stage per experiment, metrics, durations) to this JSON file")
+		pprofDir = flag.String("pprof-dir", "", "write cpu.pprof and heap.pprof to this directory")
 	)
 	flag.Parse()
+
+	run, stopProf, err := obs.SetupCLI("experiments", *logLevel, *pprofDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	run.SetWorkers(*workers)
+	finish := func(code int) {
+		if err := stopProf(); err != nil {
+			run.Logger().Error("profile flush failed", "err", err)
+		}
+		if err := run.WriteManifest(*manifest); err != nil {
+			run.Logger().Error("manifest write failed", "path", *manifest, "err", err)
+		}
+		os.Exit(code)
+	}
 
 	selected := map[string]bool{}
 	if *runList != "" {
@@ -120,8 +167,8 @@ func main() {
 		}
 		if len(unknown) > 0 {
 			sort.Strings(unknown)
-			fmt.Fprintf(os.Stderr, "experiments: unknown ids %v\n", unknown)
-			os.Exit(2)
+			run.Logger().Error("unknown experiment ids", "ids", fmt.Sprint(unknown), "class", "usage")
+			finish(2)
 		}
 	}
 
@@ -131,11 +178,20 @@ func main() {
 			continue
 		}
 		fmt.Printf("==== %s: %s ====\n", e.id, e.title)
+		run.Logger().Info("experiment start", "id", e.id, "title", e.title)
+		sp := run.Root().Child(e.id)
 		start := time.Now()
-		if err := e.run(c); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", e.id, err)
-			os.Exit(1)
+		err := e.run(c)
+		sp.End()
+		if err != nil {
+			run.Logger().Error("experiment failed",
+				"id", e.id,
+				"dur", time.Since(start).Round(time.Millisecond),
+				"class", errClass(err),
+				"err", err)
+			finish(1)
 		}
 		fmt.Printf("---- %s done in %s ----\n\n", e.id, time.Since(start).Round(time.Millisecond))
 	}
+	finish(0)
 }

@@ -3,89 +3,167 @@
 // Usage:
 //
 //	gpusim -trace game.trace [-core 1.0] [-mem 1.0] [-frames] [-workers N]
+//	gpusim -trace game.trace -lenient -manifest run.json
 //
 // It prints the total runtime, FPS and aggregate statistics; -frames
-// additionally lists per-frame times.
+// additionally lists per-frame times. -lenient sanitizes a damaged
+// trace (dropping invalid draws and unusable frames) instead of
+// rejecting it, and reports what was skipped.
+//
+// Observability: -log-level {debug,info,warn,error,off} enables
+// structured stderr logging, -manifest out.json exports the run
+// manifest (stages, metrics, diagnostics, input checksum), -pprof-dir
+// writes CPU/heap profiles.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
 	"syscall"
+	"time"
 
 	"repro/internal/charz"
 	"repro/internal/dcmath"
 	"repro/internal/gpu"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
+type config struct {
+	tracePath string
+	core      float64
+	mem       float64
+	perFrame  bool
+	breakdown bool
+	lenient   bool
+	timeout   time.Duration
+	workers   int
+
+	logLevel string
+	manifest string
+	pprofDir string
+
+	out io.Writer
+}
+
 func main() {
-	var (
-		tracePath = flag.String("trace", "", "input .trace file (required)")
-		core      = flag.Float64("core", 1.0, "core clock in GHz")
-		mem       = flag.Float64("mem", 1.0, "memory clock in GHz")
-		perFrame  = flag.Bool("frames", false, "print per-frame times")
-		breakdown = flag.Bool("breakdown", false, "print workload characterization (bottlenecks, traffic)")
-		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
-		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "max goroutines for frame pricing (output is identical at any count)")
-	)
+	var cfg config
+	flag.StringVar(&cfg.tracePath, "trace", "", "input .trace file (required)")
+	flag.Float64Var(&cfg.core, "core", 1.0, "core clock in GHz")
+	flag.Float64Var(&cfg.mem, "mem", 1.0, "memory clock in GHz")
+	flag.BoolVar(&cfg.perFrame, "frames", false, "print per-frame times")
+	flag.BoolVar(&cfg.breakdown, "breakdown", false, "print workload characterization (bottlenecks, traffic)")
+	flag.BoolVar(&cfg.lenient, "lenient", false, "sanitize a damaged trace (drop invalid draws/frames) and report diagnostics instead of failing")
+	flag.DurationVar(&cfg.timeout, "timeout", 0, "abort the run after this long (0 = no limit)")
+	flag.IntVar(&cfg.workers, "workers", runtime.GOMAXPROCS(0), "max goroutines for frame pricing (output is identical at any count)")
+	flag.StringVar(&cfg.logLevel, "log-level", "off", "structured logging to stderr: debug, info, warn, error or off")
+	flag.StringVar(&cfg.manifest, "manifest", "", "write the run manifest (stages, metrics, diagnostics, checksums) to this JSON file")
+	flag.StringVar(&cfg.pprofDir, "pprof-dir", "", "write cpu.pprof and heap.pprof to this directory")
 	flag.Parse()
-	if *tracePath == "" {
+	cfg.out = os.Stdout
+	if cfg.tracePath == "" {
 		fmt.Fprintln(os.Stderr, "gpusim: -trace is required")
 		flag.Usage()
 		os.Exit(2)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if *timeout > 0 {
+	if cfg.timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
 		defer cancel()
 	}
-	if err := run(ctx, *tracePath, *core, *mem, *perFrame, *breakdown, *workers); err != nil {
+	if err := execute(ctx, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "gpusim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, path string, core, mem float64, perFrame, breakdown bool, workers int) error {
-	f, err := os.Open(path)
+func execute(ctx context.Context, cfg config) error {
+	run, stopProf, err := obs.SetupCLI("gpusim", cfg.logLevel, cfg.pprofDir)
 	if err != nil {
+		return err
+	}
+	run.SetWorkers(cfg.workers)
+	ctx = run.Context(ctx)
+
+	err = price(ctx, run, cfg)
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	if merr := run.WriteManifest(cfg.manifest); err == nil {
+		err = merr
+	}
+	return err
+}
+
+func price(ctx context.Context, run *obs.Run, cfg config) error {
+	run.RecordFile("input", cfg.tracePath)
+	_, dsp := obs.StartSpan(ctx, "decode-trace")
+	f, err := os.Open(cfg.tracePath)
+	if err != nil {
+		dsp.End()
 		return err
 	}
 	defer f.Close()
 	w, err := trace.Decode(f)
 	if err != nil {
+		dsp.End()
 		return err
 	}
-	cfg := gpu.BaseConfig().WithCoreClock(core).WithMemClock(mem)
-	sim, err := gpu.NewSimulator(cfg, w)
-	if err != nil {
-		return err
-	}
-	res, err := sim.RunParallel(ctx, workers)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("workload  %s (%d frames, %d draws)\n", w.Name, w.NumFrames(), w.NumDraws())
-	fmt.Printf("config    %s (core %.2f GHz, mem %.2f GHz, %.1f GB/s)\n",
-		cfg.Name, cfg.CoreClockGHz, cfg.MemClockGHz, cfg.BandwidthGBs())
-	fmt.Printf("total     %.3f ms  (%.1f FPS)\n", res.TotalNs/1e6, res.FPS())
-	fmt.Printf("frame     mean %.3f ms  median %.3f ms  p95 %.3f ms  max %.3f ms\n",
-		dcmath.Mean(res.FrameNs)/1e6, dcmath.Median(res.FrameNs)/1e6,
-		dcmath.Quantile(res.FrameNs, 0.95)/1e6, dcmath.Max(res.FrameNs)/1e6)
-	if perFrame {
-		for i, t := range res.FrameNs {
-			fmt.Printf("  frame %4d  %10.3f ms  %s\n", i, t/1e6, w.Frames[i].Scene)
+	dsp.AddItems(int64(w.NumFrames()))
+	dsp.End()
+
+	if cfg.lenient {
+		_, ssp := obs.StartSpan(ctx, "sanitize")
+		diag, err := w.Sanitize()
+		ssp.AddItems(int64(w.NumFrames()))
+		ssp.End()
+		if err != nil {
+			return err
+		}
+		run.RecordDiagnostics(diag.Map())
+		if diag.Any() {
+			fmt.Fprintf(cfg.out, "degraded: %v\n", diag)
+			run.Logger().Warn("lenient sanitization degraded the workload",
+				"workload", w.Name, "diagnostics", diag.String())
 		}
 	}
-	if breakdown {
-		fmt.Println()
-		charz.Characterize(sim, w).Render(os.Stdout)
+
+	cfgGPU := gpu.BaseConfig().WithCoreClock(cfg.core).WithMemClock(cfg.mem)
+	sim, err := gpu.NewSimulator(cfgGPU, w)
+	if err != nil {
+		return err
+	}
+	pctx, psp := obs.StartSpan(ctx, "price-frames")
+	psp.AddItems(int64(w.NumFrames()))
+	res, err := sim.RunParallel(pctx, cfg.workers)
+	psp.End()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.out, "workload  %s (%d frames, %d draws)\n", w.Name, w.NumFrames(), w.NumDraws())
+	fmt.Fprintf(cfg.out, "config    %s (core %.2f GHz, mem %.2f GHz, %.1f GB/s)\n",
+		cfgGPU.Name, cfgGPU.CoreClockGHz, cfgGPU.MemClockGHz, cfgGPU.BandwidthGBs())
+	fmt.Fprintf(cfg.out, "total     %.3f ms  (%.1f FPS)\n", res.TotalNs/1e6, res.FPS())
+	fmt.Fprintf(cfg.out, "frame     mean %.3f ms  median %.3f ms  p95 %.3f ms  max %.3f ms\n",
+		dcmath.Mean(res.FrameNs)/1e6, dcmath.Median(res.FrameNs)/1e6,
+		dcmath.Quantile(res.FrameNs, 0.95)/1e6, dcmath.Max(res.FrameNs)/1e6)
+	if cfg.perFrame {
+		for i, t := range res.FrameNs {
+			fmt.Fprintf(cfg.out, "  frame %4d  %10.3f ms  %s\n", i, t/1e6, w.Frames[i].Scene)
+		}
+	}
+	if cfg.breakdown {
+		fmt.Fprintln(cfg.out)
+		_, csp := obs.StartSpan(ctx, "characterize")
+		charz.Characterize(sim, w).Render(cfg.out)
+		csp.End()
 	}
 	return nil
 }

@@ -6,6 +6,7 @@
 //
 //	subset3d -trace game.trace [-threshold 0.5] [-interval 4] [-fast]
 //	subset3d -stream game.stream [-lenient] [-timeout 30s]
+//	subset3d -trace game.trace -manifest run.json -log-level info
 //
 // -fast skips the per-frame clustering evaluation (the expensive part)
 // and only builds and validates the subset. -stream consumes a
@@ -21,35 +22,68 @@
 // -workers bounds the goroutine fan-out of the pipeline's hot loops
 // (default GOMAXPROCS). The output is bit-identical at any worker
 // count; the flag trades wall-clock time only.
+//
+// Observability: -log-level {debug,info,warn,error,off} enables
+// structured key=value logging to stderr (default off), -manifest
+// out.json exports the run manifest (stage tree with durations and
+// item counts, metrics snapshot, degradation diagnostics, worker
+// config, input checksums), and -pprof-dir dir writes cpu.pprof and
+// heap.pprof there. None of it changes results: the report is
+// bit-identical with observability on or off.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/stream"
 	"repro/internal/trace"
 )
 
+// config is the parsed command line — one struct so the end-to-end
+// tests drive exactly the path main does.
+type config struct {
+	tracePath string
+	streamIn  string
+	threshold float64
+	interval  int
+	fast      bool
+	lenient   bool
+	timeout   time.Duration
+	workers   int
+
+	logLevel string
+	manifest string
+	pprofDir string
+
+	out io.Writer // report sink; os.Stdout in main
+}
+
 func main() {
-	var (
-		tracePath = flag.String("trace", "", "input .trace file (required)")
-		threshold = flag.Float64("threshold", core.DefaultOptions().Subset.Method.Threshold, "leader clustering threshold")
-		interval  = flag.Int("interval", core.DefaultOptions().Subset.Phase.IntervalFrames, "phase detection interval (frames)")
-		fast      = flag.Bool("fast", false, "skip per-frame clustering evaluation")
-		streamIn  = flag.String("stream", "", "frame-stream trace to subset in one bounded-memory pass")
-		lenient   = flag.Bool("lenient", false, "skip damaged records/frames and report diagnostics instead of failing")
-		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
-		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "max goroutines for clustering evaluation, phase detection and the validation sweep (output is identical at any count)")
-	)
+	var cfg config
+	flag.StringVar(&cfg.tracePath, "trace", "", "input .trace file (required)")
+	flag.Float64Var(&cfg.threshold, "threshold", core.DefaultOptions().Subset.Method.Threshold, "leader clustering threshold")
+	flag.IntVar(&cfg.interval, "interval", core.DefaultOptions().Subset.Phase.IntervalFrames, "phase detection interval (frames)")
+	flag.BoolVar(&cfg.fast, "fast", false, "skip per-frame clustering evaluation")
+	flag.StringVar(&cfg.streamIn, "stream", "", "frame-stream trace to subset in one bounded-memory pass")
+	flag.BoolVar(&cfg.lenient, "lenient", false, "skip damaged records/frames and report diagnostics instead of failing")
+	flag.DurationVar(&cfg.timeout, "timeout", 0, "abort the run after this long (0 = no limit)")
+	flag.IntVar(&cfg.workers, "workers", runtime.GOMAXPROCS(0), "max goroutines for clustering evaluation, phase detection and the validation sweep (output is identical at any count)")
+	flag.StringVar(&cfg.logLevel, "log-level", "off", "structured logging to stderr: debug, info, warn, error or off")
+	flag.StringVar(&cfg.manifest, "manifest", "", "write the run manifest (stages, metrics, diagnostics, checksums) to this JSON file")
+	flag.StringVar(&cfg.pprofDir, "pprof-dir", "", "write cpu.pprof and heap.pprof to this directory")
 	flag.Parse()
-	if (*tracePath == "") == (*streamIn == "") {
+	cfg.out = os.Stdout
+	if (cfg.tracePath == "") == (cfg.streamIn == "") {
 		fmt.Fprintln(os.Stderr, "subset3d: exactly one of -trace or -stream is required")
 		flag.Usage()
 		os.Exit(2)
@@ -57,73 +91,102 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if *timeout > 0 {
+	if cfg.timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
 		defer cancel()
 	}
 
-	var err error
-	if *streamIn != "" {
-		err = runStream(ctx, *streamIn, *threshold, *interval, *lenient)
-	} else {
-		err = run(ctx, *tracePath, *threshold, *interval, *fast, *lenient, *workers)
-	}
-	if err != nil {
+	if err := execute(ctx, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "subset3d:", err)
 		os.Exit(1)
 	}
 }
 
-func runStream(ctx context.Context, path string, threshold float64, interval int, lenient bool) error {
-	f, err := os.Open(path)
+// execute wires observability around the selected pipeline and always
+// finishes the manifest — a failed run still exports the stages and
+// metrics it got through, which is exactly when they matter.
+func execute(ctx context.Context, cfg config) error {
+	run, stopProf, err := obs.SetupCLI("subset3d", cfg.logLevel, cfg.pprofDir)
+	if err != nil {
+		return err
+	}
+	run.SetWorkers(cfg.workers)
+	ctx = run.Context(ctx)
+
+	if cfg.streamIn != "" {
+		err = runStream(ctx, run, cfg)
+	} else {
+		err = runTrace(ctx, run, cfg)
+	}
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	if merr := run.WriteManifest(cfg.manifest); err == nil {
+		err = merr
+	}
+	return err
+}
+
+func runStream(ctx context.Context, run *obs.Run, cfg config) error {
+	run.RecordFile("input", cfg.streamIn)
+	f, err := os.Open(cfg.streamIn)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	r, err := trace.NewStreamReader(f, trace.ReaderOptions{Lenient: lenient})
+	r, err := trace.NewStreamReader(f, trace.ReaderOptions{Lenient: cfg.lenient})
 	if err != nil {
 		return err
 	}
 	opt := stream.DefaultOptions()
-	opt.Method.Threshold = threshold
-	opt.Phase.IntervalFrames = interval
-	opt.Lenient = lenient
+	opt.Method.Threshold = cfg.threshold
+	opt.Phase.IntervalFrames = cfg.interval
+	opt.Lenient = cfg.lenient
 	res, err := stream.RunContext(ctx, r, opt)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("workload %s (streamed, format v%d): %d frames, %d draws\n",
+	fmt.Fprintf(cfg.out, "workload %s (streamed, format v%d): %d frames, %d draws\n",
 		r.Shell().Name, r.Version(), res.ParentFrames, res.ParentDraws)
-	if lenient {
-		fmt.Printf("ingestion: %v\n", res.Diagnostics)
+	if res.Diagnostics.Any() {
+		fmt.Fprintf(cfg.out, "ingestion degraded: %v\n", res.Diagnostics)
+	} else if cfg.lenient {
+		fmt.Fprintf(cfg.out, "ingestion: %v\n", res.Diagnostics)
 	}
-	fmt.Printf("phases: %d  timeline %s\n", res.NumPhases, res.Timeline)
+	fmt.Fprintf(cfg.out, "phases: %d  timeline %s\n", res.NumPhases, res.Timeline)
 	n := 0
 	for i := range res.Frames {
 		n += len(res.Frames[i].Draws)
 	}
-	fmt.Printf("subset: %d frames, %d draws = %.2f%% of parent\n",
+	fmt.Fprintf(cfg.out, "subset: %d frames, %d draws = %.2f%% of parent\n",
 		len(res.Frames), n, res.SizeRatio()*100)
 	return nil
 }
 
-func run(ctx context.Context, path string, threshold float64, interval int, fast, lenient bool, workers int) error {
-	f, err := os.Open(path)
+func runTrace(ctx context.Context, run *obs.Run, cfg config) error {
+	run.RecordFile("input", cfg.tracePath)
+	_, sp := obs.StartSpan(ctx, "decode-trace")
+	f, err := os.Open(cfg.tracePath)
 	if err != nil {
+		sp.End()
 		return err
 	}
 	defer f.Close()
 	w, err := trace.Decode(f)
 	if err != nil {
+		sp.End()
 		return err
 	}
+	sp.AddItems(int64(w.NumFrames()))
+	sp.End()
+
 	opt := core.DefaultOptions()
-	opt.Subset.Method.Threshold = threshold
-	opt.Subset.Phase.IntervalFrames = interval
-	opt.SkipClusteringEval = fast
-	opt.Lenient = lenient
-	opt.Workers = workers
+	opt.Subset.Method.Threshold = cfg.threshold
+	opt.Subset.Phase.IntervalFrames = cfg.interval
+	opt.SkipClusteringEval = cfg.fast
+	opt.Lenient = cfg.lenient
+	opt.Workers = cfg.workers
 	s, err := core.New(opt)
 	if err != nil {
 		return err
@@ -132,6 +195,8 @@ func run(ctx context.Context, path string, threshold float64, interval int, fast
 	if err != nil {
 		return err
 	}
-	rep.Render(os.Stdout)
+	_, rsp := obs.StartSpan(ctx, "render-report")
+	rep.Render(cfg.out)
+	rsp.End()
 	return nil
 }

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/gpu"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/phase"
 	"repro/internal/subset"
 	"repro/internal/sweep"
@@ -66,6 +67,14 @@ type Options struct {
 	// tests assert. Workers overrides Subset.Workers for the stages Run
 	// drives.
 	Workers int
+
+	// Obs attaches an observability run: every pipeline stage then
+	// records a span (wall time, item counts, worker occupancy) and
+	// feeds the run's metrics registry. Nil — the default — is a
+	// complete no-op, and observability never changes results either
+	// way: timings live only in the obs structures, never in the
+	// Report, an invariant the determinism tests assert.
+	Obs *obs.Run
 }
 
 // DefaultOptions returns the experiment configuration.
@@ -130,47 +139,36 @@ func (s *Subsetter) Run(w *trace.Workload) (*Report, error) {
 	return s.RunContext(context.Background(), w)
 }
 
-// sanitize drops invalid draws and unusable frames from w in place,
-// returning the accounting. It fails only when nothing usable remains.
-func sanitize(w *trace.Workload) (traceerr.Diagnostics, error) {
-	var diag traceerr.Diagnostics
-	if w.Name == "" || w.Shaders == nil {
-		return diag, fmt.Errorf("core: workload beyond repair: %w", w.Validate())
-	}
-	kept := w.Frames[:0]
-	for fi := range w.Frames {
-		f := &w.Frames[fi]
-		dropped, _ := w.SanitizeFrame(f)
-		diag.DrawsDropped += dropped
-		if len(f.Draws) == 0 {
-			diag.FramesSkipped++
-			continue
-		}
-		kept = append(kept, *f)
-	}
-	w.Frames = kept
-	if len(w.Frames) == 0 {
-		return diag, fmt.Errorf("core: no usable frames survive sanitization (%v): %w",
-			diag, traceerr.ErrInvalidFrame)
-	}
-	return diag, nil
-}
-
 // RunContext executes the pipeline on one workload, honoring
 // cancellation between pipeline stages and inside the validation
 // sweep. In lenient mode a damaged workload is sanitized first.
 func (s *Subsetter) RunContext(ctx context.Context, w *trace.Workload) (*Report, error) {
+	if s.opt.Obs != nil && obs.RunFromContext(ctx) == nil {
+		ctx = s.opt.Obs.Context(ctx)
+	}
+	run := obs.RunFromContext(ctx)
+
 	rep := &Report{}
 	if s.opt.Lenient {
-		diag, err := sanitize(w)
+		_, sp := obs.StartSpan(ctx, "sanitize")
+		diag, err := w.Sanitize()
+		sp.AddItems(int64(len(w.Frames)))
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
 		rep.Diagnostics = diag
+		run.RecordDiagnostics(diag.Map())
+		if diag.Any() {
+			run.Logger().Warn("lenient sanitization degraded the workload",
+				"workload", w.Name, "draws_dropped", diag.DrawsDropped, "frames_skipped", diag.FramesSkipped)
+		}
 	} else if err := w.Validate(); err != nil {
 		return nil, err
 	}
 	rep.Summary = trace.Summarize(w)
+	run.Logger().Info("workload ready", "workload", w.Name,
+		"frames", rep.Summary.Frames, "draws", rep.Summary.Draws)
 
 	if !s.opt.SkipClusteringEval {
 		if err := ctx.Err(); err != nil {
@@ -208,6 +206,8 @@ func (s *Subsetter) RunContext(ctx context.Context, w *trace.Workload) (*Report,
 	rep.Subset = sub
 	rep.Detection = sub.Detection
 	rep.SizeRatio = sub.SizeRatio()
+	run.Metrics().Counter("subset.frames").Add(int64(len(sub.Frames)))
+	run.Metrics().Counter("subset.draws").Add(int64(sub.NumDraws()))
 
 	if len(s.opt.ValidationClocks) >= 2 {
 		res, err := sweep.RunParallel(ctx, w, sub, sweep.CoreClockSweep(s.opt.Oracle, s.opt.ValidationClocks), s.opt.Workers)

@@ -91,6 +91,28 @@ func ParseSpec(s string) (Spec, error) {
 	return spec, nil
 }
 
+// Stats counts the faults a corruptor actually landed — what an
+// injection drill reports (tracegen feeds these into its run
+// manifest's metrics).
+type Stats struct {
+	BitsFlipped int64 // single-bit flips applied
+	ZeroRuns    int64 // zero runs started
+	Tears       int64 // torn-out ranges started
+	Truncated   bool  // stream was cut at TruncateAfter
+	BytesIn     int64 // bytes consumed
+	BytesOut    int64 // bytes that survived
+}
+
+// Total returns the number of discrete fault events (flips + zero runs
+// + tears + truncation).
+func (s Stats) Total() int64 {
+	n := s.BitsFlipped + s.ZeroRuns + s.Tears
+	if s.Truncated {
+		n++
+	}
+	return n
+}
+
 // corruptor applies a Spec to a byte stream one chunk at a time.
 type corruptor struct {
 	spec   Spec
@@ -101,6 +123,7 @@ type corruptor struct {
 	nextFlip, nextZero, nextTear int64
 	zeroLeft, tearLeft           int
 	truncated                    bool
+	stats                        Stats
 }
 
 func newCorruptor(spec Spec) *corruptor {
@@ -146,6 +169,7 @@ func (c *corruptor) process(b []byte) []byte {
 		if off == c.nextTear {
 			c.tearLeft = c.spec.TearLen - 1
 			c.nextTear = c.gap(c.spec.TearEvery, off)
+			c.stats.Tears++
 			continue
 		}
 		v := b[i]
@@ -155,18 +179,23 @@ func (c *corruptor) process(b []byte) []byte {
 		} else if off == c.nextZero {
 			c.zeroLeft = c.spec.ZeroRun - 1
 			c.nextZero = c.gap(c.spec.ZeroEvery, off)
+			c.stats.ZeroRuns++
 			v = 0
 		}
 		if off >= c.nextFlip && c.nextFlip >= 0 {
 			v ^= 1 << c.rng.IntN(8)
 			c.nextFlip = c.gap(c.spec.FlipEvery, off)
+			c.stats.BitsFlipped++
 		}
 		out = append(out, v)
 		c.outOff++
 		if c.spec.TruncateAfter > 0 && c.outOff >= c.spec.TruncateAfter {
 			c.truncated = true
+			c.stats.Truncated = true
 		}
 	}
+	c.stats.BytesIn = c.inOff
+	c.stats.BytesOut = c.outOff
 	return out
 }
 
@@ -176,6 +205,9 @@ type Reader struct {
 	c    *corruptor
 	done bool
 }
+
+// Stats reports the faults landed so far.
+func (f *Reader) Stats() Stats { return f.c.stats }
 
 // NewReader returns a corrupting reader over r.
 func NewReader(r io.Reader, spec Spec) *Reader {
@@ -215,6 +247,9 @@ type Writer struct {
 	w io.Writer
 	c *corruptor
 }
+
+// Stats reports the faults landed so far.
+func (f *Writer) Stats() Stats { return f.c.stats }
 
 // NewWriter returns a corrupting writer over w.
 func NewWriter(w io.Writer, spec Spec) *Writer {

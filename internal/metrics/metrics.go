@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"repro/internal/dcmath"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/subset"
 	"repro/internal/trace"
@@ -110,6 +111,10 @@ func EvaluateWorkload(o subset.CostOracle, w *trace.Workload, fc *subset.FrameCl
 // bit-identical at any worker count. The oracle must be safe for
 // concurrent use (*gpu.Simulator is).
 func EvaluateWorkloadContext(ctx context.Context, o subset.CostOracle, w *trace.Workload, fc *subset.FrameClusterer, outlierThresh float64, workers int) (WorkloadReport, error) {
+	ctx, sp := obs.StartSpan(ctx, "clustering-eval")
+	defer sp.End()
+	sp.AddItems(int64(len(w.Frames)))
+	sp.SetWorkers(parallel.Workers(workers))
 	frames, err := parallel.Map(ctx, workers, len(w.Frames), func(_ context.Context, fi int) (FrameReport, error) {
 		cf, err := fc.ClusterFrame(&w.Frames[fi], fi)
 		if err != nil {
@@ -121,6 +126,7 @@ func EvaluateWorkloadContext(ctx context.Context, o subset.CostOracle, w *trace.
 		return WorkloadReport{}, err
 	}
 	rep := WorkloadReport{Name: w.Name, Frames: frames}
+	relErrHist := obs.RunFromContext(ctx).Metrics().Histogram("cluster.frame_rel_error")
 	var errSum, effSum float64
 	for _, fr := range frames {
 		errSum += fr.RelError
@@ -131,12 +137,18 @@ func EvaluateWorkloadContext(ctx context.Context, o subset.CostOracle, w *trace.
 		rep.TotalDraws += fr.Draws
 		rep.TotalClusters += fr.Clusters
 		rep.TotalOutliers += fr.Outliers
+		relErrHist.Observe(fr.RelError)
 	}
 	n := float64(len(rep.Frames))
 	rep.MeanError = errSum / n
 	rep.MeanEfficiency = effSum / n
 	if rep.TotalClusters > 0 {
 		rep.OutlierRate = float64(rep.TotalOutliers) / float64(rep.TotalClusters)
+	}
+	if reg := obs.RunFromContext(ctx).Metrics(); reg != nil {
+		reg.Counter("cluster.frames_evaluated").Add(int64(len(frames)))
+		reg.Counter("cluster.clusters").Add(int64(rep.TotalClusters))
+		reg.Counter("cluster.outliers").Add(int64(rep.TotalOutliers))
 	}
 	return rep, nil
 }

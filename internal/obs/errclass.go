@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"io"
+	"io/fs"
+)
+
+// ErrorClass buckets an error into a short stable token for log lines
+// and failure metrics: structured context a grep or a dashboard can
+// pivot on without parsing free-form messages. Unrecognized errors
+// class as "error"; nil classes as "ok".
+func ErrorClass(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF):
+		return "truncated-io"
+	case errors.Is(err, fs.ErrNotExist):
+		return "not-found"
+	case errors.Is(err, fs.ErrPermission):
+		return "permission"
+	default:
+		return "error"
+	}
+}

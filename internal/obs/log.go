@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders log severities. The zero value is LevelDebug; LevelOff
+// disables everything, which is the CLI default — observability stays
+// silent unless asked for.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+	LevelOff
+)
+
+// String renders the level the way ParseLevel reads it.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	case LevelOff:
+		return "off"
+	}
+	return fmt.Sprintf("level(%d)", int32(l))
+}
+
+// ParseLevel reads a -log-level flag value. The empty string means
+// off.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	case "off", "none", "silent", "":
+		return LevelOff, nil
+	}
+	return LevelOff, fmt.Errorf("obs: unknown log level %q (want debug, info, warn, error or off)", s)
+}
+
+// Logger writes leveled key=value lines to one io.Writer. A nil
+// logger drops everything; writes are serialized so concurrent stages
+// never interleave within a line.
+type Logger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	min Level
+	now func() time.Time // test seam; nil means time.Now
+}
+
+// NewLogger logs lines at or above min to w. NewLogger(w, LevelOff)
+// and a nil writer both yield a silent logger.
+func NewLogger(w io.Writer, min Level) *Logger {
+	return &Logger{w: w, min: min}
+}
+
+// Enabled reports whether a line at lv would be written — the guard
+// for callers that must not pay for argument construction.
+func (l *Logger) Enabled(lv Level) bool {
+	return l != nil && l.w != nil && lv >= l.min && lv < LevelOff
+}
+
+// Debug logs developer-level detail (per-stage timings, span ends).
+func (l *Logger) Debug(msg string, kv ...any) { l.emit(LevelDebug, msg, kv) }
+
+// Info logs run milestones (inputs decoded, stages complete).
+func (l *Logger) Info(msg string, kv ...any) { l.emit(LevelInfo, msg, kv) }
+
+// Warn logs degradation that did not stop the run (records resynced,
+// draws dropped).
+func (l *Logger) Warn(msg string, kv ...any) { l.emit(LevelWarn, msg, kv) }
+
+// Error logs failures, with enough keys to triage without a debugger.
+func (l *Logger) Error(msg string, kv ...any) { l.emit(LevelError, msg, kv) }
+
+func (l *Logger) emit(lv Level, msg string, kv []any) {
+	if !l.Enabled(lv) {
+		return
+	}
+	now := time.Now
+	if l.now != nil {
+		now = l.now
+	}
+	var b []byte
+	b = append(b, "t="...)
+	b = now().UTC().AppendFormat(b, "2006-01-02T15:04:05.000Z07:00")
+	b = append(b, " level="...)
+	b = append(b, lv.String()...)
+	b = append(b, " msg="...)
+	b = appendValue(b, msg)
+	for i := 0; i+1 < len(kv); i += 2 {
+		b = append(b, ' ')
+		b = appendValue(b, fmt.Sprint(kv[i]))
+		b = append(b, '=')
+		b = appendValue(b, fmt.Sprint(kv[i+1]))
+	}
+	if len(kv)%2 != 0 {
+		b = append(b, ' ')
+		b = appendValue(b, fmt.Sprint(kv[len(kv)-1]))
+		b = append(b, "=!MISSING"...)
+	}
+	b = append(b, '\n')
+	l.mu.Lock()
+	l.w.Write(b)
+	l.mu.Unlock()
+}
+
+// appendValue writes s bare when it is logfmt-clean, quoted otherwise.
+func appendValue(b []byte, s string) []byte {
+	if s == "" {
+		return append(b, `""`...)
+	}
+	if strings.ContainsAny(s, " \t\n\"=") {
+		return strconv.AppendQuote(b, s)
+	}
+	return append(b, s...)
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func fixedLogger(w *strings.Builder, min Level) *Logger {
+	l := NewLogger(w, min)
+	l.now = func() time.Time { return time.Date(2026, 1, 2, 3, 4, 5, 678e6, time.UTC) }
+	return l
+}
+
+func TestLoggerFormat(t *testing.T) {
+	var b strings.Builder
+	l := fixedLogger(&b, LevelDebug)
+	l.Info("workload ready", "frames", 16, "name", "bioshock 1")
+	got := b.String()
+	want := `t=2026-01-02T03:04:05.678Z level=info msg="workload ready" frames=16 name="bioshock 1"` + "\n"
+	if got != want {
+		t.Fatalf("line mismatch:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestLoggerLevels(t *testing.T) {
+	cases := []struct {
+		min  Level
+		want []string // msg markers expected in output
+	}{
+		{LevelDebug, []string{"d", "i", "w", "e"}},
+		{LevelInfo, []string{"i", "w", "e"}},
+		{LevelWarn, []string{"w", "e"}},
+		{LevelError, []string{"e"}},
+		{LevelOff, nil},
+	}
+	for _, c := range cases {
+		var b strings.Builder
+		l := fixedLogger(&b, c.min)
+		l.Debug("d")
+		l.Info("i")
+		l.Warn("w")
+		l.Error("e")
+		lines := strings.Count(b.String(), "\n")
+		if lines != len(c.want) {
+			t.Errorf("min=%v: got %d lines, want %d:\n%s", c.min, lines, len(c.want), b.String())
+			continue
+		}
+		for _, m := range c.want {
+			if !strings.Contains(b.String(), "msg="+m) {
+				t.Errorf("min=%v: missing msg=%s in %q", c.min, m, b.String())
+			}
+		}
+	}
+}
+
+func TestLoggerNilSafe(t *testing.T) {
+	var l *Logger
+	// Must not panic, and Enabled must say no at every level.
+	l.Debug("x")
+	l.Info("x", "k", "v")
+	l.Warn("x")
+	l.Error("x")
+	for lv := LevelDebug; lv <= LevelOff; lv++ {
+		if l.Enabled(lv) {
+			t.Fatalf("nil logger Enabled(%v) = true", lv)
+		}
+	}
+}
+
+func TestLoggerOddKeyValues(t *testing.T) {
+	var b strings.Builder
+	l := fixedLogger(&b, LevelDebug)
+	l.Info("m", "orphan")
+	if !strings.Contains(b.String(), "orphan=!MISSING") {
+		t.Fatalf("odd kv not flagged: %q", b.String())
+	}
+}
+
+func TestLoggerQuoting(t *testing.T) {
+	var b strings.Builder
+	l := fixedLogger(&b, LevelDebug)
+	l.Info("m", "k", `a="b"`, "empty", "")
+	got := b.String()
+	for _, want := range []string{`k="a=\"b\""`, `empty=""`} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %s in %q", want, got)
+		}
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "warn": LevelWarn,
+		"warning": LevelWarn, "error": LevelError, "off": LevelOff,
+		"none": LevelOff, "silent": LevelOff, "": LevelOff,
+		" Info ": LevelInfo,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel(loud) did not fail")
+	}
+}
+
+func TestLevelStringRoundTrip(t *testing.T) {
+	for lv := LevelDebug; lv <= LevelOff; lv++ {
+		got, err := ParseLevel(lv.String())
+		if err != nil || got != lv {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", lv.String(), got, err, lv)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// ManifestSchemaVersion is bumped whenever the manifest JSON layout
+// changes incompatibly; consumers check it before parsing the rest.
+const ManifestSchemaVersion = 1
+
+// Manifest is the exported record of one run: what ran, how long each
+// stage took, what the metrics ended at, how much ingestion degraded,
+// and checksums of the files involved. It is diagnostic output only —
+// nothing in it feeds back into pipeline results.
+type Manifest struct {
+	SchemaVersion int       `json:"schema_version"`
+	Tool          string    `json:"tool"`
+	Start         time.Time `json:"start"`
+	DurationNs    int64     `json:"duration_ns"`
+	GoVersion     string    `json:"go_version"`
+	GOMAXPROCS    int       `json:"gomaxprocs"`
+
+	// Workers is the configured worker bound (0 when the tool has
+	// none).
+	Workers int `json:"workers,omitempty"`
+
+	// Stages is the span tree: one entry per top-level pipeline stage,
+	// nested sub-stages under Children.
+	Stages []StageManifest `json:"stages"`
+
+	// Metrics is the registry snapshot at Finish.
+	Metrics MetricsSnapshot `json:"metrics"`
+
+	// Diagnostics totals degradation accounting (lenient-mode skips),
+	// keyed like traceerr.Diagnostics.Map. Empty map on clean runs.
+	Diagnostics map[string]int64 `json:"diagnostics"`
+
+	// Files digests the run's inputs and outputs.
+	Files []FileDigest `json:"files,omitempty"`
+}
+
+// StageManifest is one node of the stage tree.
+type StageManifest struct {
+	Name       string          `json:"name"`
+	DurationNs int64           `json:"duration_ns"`
+	Items      int64           `json:"items,omitempty"`
+	Workers    int             `json:"workers,omitempty"`
+	Occupancy  float64         `json:"occupancy,omitempty"`
+	Children   []StageManifest `json:"children,omitempty"`
+}
+
+// FileDigest identifies one input or output file by content.
+type FileDigest struct {
+	Role   string `json:"role"` // "input" or "output"
+	Path   string `json:"path"`
+	SHA256 string `json:"sha256"`
+	Bytes  int64  `json:"bytes"`
+}
+
+// DigestFile hashes a file's content.
+func DigestFile(role, path string) (FileDigest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return FileDigest{}, err
+	}
+	defer f.Close()
+	h := sha256.New()
+	n, err := io.Copy(h, f)
+	if err != nil {
+		return FileDigest{}, fmt.Errorf("obs: digest %s: %w", path, err)
+	}
+	return FileDigest{
+		Role:   role,
+		Path:   path,
+		SHA256: hex.EncodeToString(h.Sum(nil)),
+		Bytes:  n,
+	}, nil
+}
+
+// Encode writes the manifest as indented JSON.
+func (m *Manifest) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// WriteFile writes the manifest to path (the -manifest flag's sink).
+func (m *Manifest) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles begins a CPU profile into dir/cpu.pprof and returns a
+// stop function that ends it and additionally writes dir/heap.pprof —
+// the -pprof-dir wiring shared by every CLI. The directory is created
+// if needed.
+func StartProfiles(dir string) (stop func() error, err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	cpu, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		cpu.Close()
+		return nil, fmt.Errorf("obs: start cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		errCPU := cpu.Close()
+		heap, err := os.Create(filepath.Join(dir, "heap.pprof"))
+		if err != nil {
+			return errors.Join(errCPU, err)
+		}
+		runtime.GC() // collect before the heap snapshot so live bytes are accurate
+		errHeap := pprof.WriteHeapProfile(heap)
+		return errors.Join(errCPU, errHeap, heap.Close())
+	}, nil
+}

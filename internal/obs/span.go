@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed stage of a run: a name, a wall-clock duration, an
+// item count, the worker bound the stage ran with, and pool-occupancy
+// accounting fed by internal/parallel. Spans nest — children created
+// while a span is open (via Child or obs.StartSpan on a derived
+// context) appear under it in the manifest's stage tree, in creation
+// order.
+//
+// All methods are safe on a nil receiver and safe for concurrent use;
+// a stage fanned out across workers can AddItems from every goroutine.
+type Span struct {
+	run   *Run
+	name  string
+	start time.Time
+
+	durNs   atomic.Int64 // set once by End; 0 while open
+	items   atomic.Int64
+	workers atomic.Int64
+	busyNs  atomic.Int64 // summed worker busy time across pool runs
+	capNs   atomic.Int64 // summed workers x wall capacity across pool runs
+
+	mu       sync.Mutex
+	children []*Span
+}
+
+func newSpan(r *Run, name string) *Span {
+	return &Span{run: r, name: name, start: time.Now()}
+}
+
+// Child opens a nested span. Nil-safe: a nil parent yields a nil
+// child, so uninstrumented call chains stay allocation-free.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := newSpan(s.run, name)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End closes the span, fixing its duration. The first End wins;
+// closing an already-closed span is a no-op, so `defer sp.End()` is
+// always safe. A debug log line records the stage outcome.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start).Nanoseconds()
+	if d == 0 {
+		d = 1 // closed spans are distinguishable from open ones
+	}
+	if !s.durNs.CompareAndSwap(0, d) {
+		return
+	}
+	if s.run != nil && s.run.Log.Enabled(LevelDebug) {
+		kv := []any{"stage", s.name, "dur", time.Duration(d).Round(time.Microsecond)}
+		if n := s.items.Load(); n > 0 {
+			kv = append(kv, "items", n)
+		}
+		if w := s.workers.Load(); w > 0 {
+			kv = append(kv, "workers", w)
+		}
+		if occ := s.Occupancy(); occ > 0 {
+			kv = append(kv, "occupancy", occ)
+		}
+		s.run.Log.Debug("stage done", kv...)
+	}
+}
+
+// DurationNs returns the span's fixed duration, or the running
+// duration while it is still open.
+func (s *Span) DurationNs() int64 {
+	if s == nil {
+		return 0
+	}
+	if d := s.durNs.Load(); d != 0 {
+		return d
+	}
+	return time.Since(s.start).Nanoseconds()
+}
+
+// AddItems adds to the span's processed-item count (frames clustered,
+// configs priced, records read).
+func (s *Span) AddItems(n int64) {
+	if s != nil {
+		s.items.Add(n)
+	}
+}
+
+// Items returns the current item count.
+func (s *Span) Items() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.items.Load()
+}
+
+// SetWorkers records the worker bound the stage ran with.
+func (s *Span) SetWorkers(n int) {
+	if s != nil {
+		s.workers.Store(int64(n))
+	}
+}
+
+// AddPool accumulates one worker-pool execution into the span's
+// occupancy accounting: busy is the summed per-worker busy time, wall
+// the pool's wall-clock time, workers its width. internal/parallel
+// calls this for every pool it runs under the span.
+func (s *Span) AddPool(workers int, busy, wall time.Duration) {
+	if s == nil {
+		return
+	}
+	if int64(s.workers.Load()) == 0 {
+		s.workers.Store(int64(workers))
+	}
+	s.busyNs.Add(busy.Nanoseconds())
+	s.capNs.Add(wall.Nanoseconds() * int64(workers))
+}
+
+// Occupancy returns summed worker busy time over summed pool capacity
+// (workers x wall), in [0, 1] — how evenly the stage kept its workers
+// fed. Zero when no pool ran under the span.
+func (s *Span) Occupancy() float64 {
+	if s == nil {
+		return 0
+	}
+	capacity := s.capNs.Load()
+	if capacity <= 0 {
+		return 0
+	}
+	occ := float64(s.busyNs.Load()) / float64(capacity)
+	if occ > 1 {
+		occ = 1
+	}
+	return occ
+}
+
+// Walk visits the span and its descendants depth-first in creation
+// order (tests use it to assert nesting).
+func (s *Span) Walk(visit func(depth int, sp *Span)) {
+	if s == nil {
+		return
+	}
+	s.walk(0, visit)
+}
+
+func (s *Span) walk(depth int, visit func(int, *Span)) {
+	visit(depth, s)
+	s.mu.Lock()
+	kids := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range kids {
+		c.walk(depth+1, visit)
+	}
+}
+
+// Name returns the span's name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// childManifests renders the span's children as a manifest stage tree.
+func (s *Span) childManifests() []StageManifest {
+	s.mu.Lock()
+	kids := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	if len(kids) == 0 {
+		return nil
+	}
+	out := make([]StageManifest, len(kids))
+	for i, c := range kids {
+		out[i] = StageManifest{
+			Name:       c.name,
+			DurationNs: c.DurationNs(),
+			Items:      c.items.Load(),
+			Workers:    int(c.workers.Load()),
+			Occupancy:  c.Occupancy(),
+			Children:   c.childManifests(),
+		}
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestSpanNestingAndOrder builds a tree through the context plumbing —
+// the way pipeline stages do — and asserts Walk sees it depth-first in
+// creation order.
+func TestSpanNestingAndOrder(t *testing.T) {
+	run := NewRun("test")
+	ctx := run.Context(context.Background())
+
+	actx, a := StartSpan(ctx, "a")
+	_, a1 := StartSpan(actx, "a1")
+	a1.End()
+	_, a2 := StartSpan(actx, "a2")
+	a2.End()
+	a.End()
+	_, b := StartSpan(ctx, "b")
+	b.End()
+
+	type node struct {
+		depth int
+		name  string
+	}
+	var got []node
+	run.Root().Walk(func(d int, sp *Span) { got = append(got, node{d, sp.Name()}) })
+	want := []node{{0, "test"}, {1, "a"}, {2, "a1"}, {2, "a2"}, {1, "b"}}
+	if len(got) != len(want) {
+		t.Fatalf("walk visited %d spans, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("walk[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSpanEndOnce(t *testing.T) {
+	run := NewRun("test")
+	sp := run.Root().Child("s")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	d := sp.DurationNs()
+	if d <= 0 {
+		t.Fatal("ended span has no duration")
+	}
+	time.Sleep(time.Millisecond)
+	sp.End() // second End must not move the duration
+	if sp.DurationNs() != d {
+		t.Errorf("duration moved after second End: %d -> %d", d, sp.DurationNs())
+	}
+}
+
+func TestSpanItemsAndWorkers(t *testing.T) {
+	run := NewRun("test")
+	sp := run.Root().Child("s")
+	sp.AddItems(3)
+	sp.AddItems(4)
+	sp.SetWorkers(8)
+	if sp.Items() != 7 {
+		t.Errorf("items = %d, want 7", sp.Items())
+	}
+	sp.End()
+	run.Finish()
+}
+
+func TestSpanOccupancy(t *testing.T) {
+	run := NewRun("test")
+	sp := run.Root().Child("s")
+	if sp.Occupancy() != 0 {
+		t.Errorf("occupancy before any pool = %v, want 0", sp.Occupancy())
+	}
+	// 4 workers busy 50ms each over a 100ms wall: 200/400 = 0.5.
+	sp.AddPool(4, 200*time.Millisecond, 100*time.Millisecond)
+	if occ := sp.Occupancy(); occ != 0.5 {
+		t.Errorf("occupancy = %v, want 0.5", occ)
+	}
+	// Accumulates across pools: +4 workers fully busy -> (200+400)/800.
+	sp.AddPool(4, 400*time.Millisecond, 100*time.Millisecond)
+	if occ := sp.Occupancy(); occ != 0.75 {
+		t.Errorf("occupancy after 2nd pool = %v, want 0.75", occ)
+	}
+	// Clamped: claimed busy beyond capacity cannot exceed 1.
+	sp.AddPool(1, time.Second, time.Millisecond)
+	if occ := sp.Occupancy(); occ != 1 {
+		t.Errorf("occupancy = %v, want clamp to 1", occ)
+	}
+}
+
+func TestNilSpanSafe(t *testing.T) {
+	var sp *Span
+	sp.End()
+	sp.AddItems(1)
+	sp.SetWorkers(2)
+	sp.AddPool(2, time.Second, time.Second)
+	sp.Walk(func(int, *Span) { t.Fatal("nil span walked") })
+	if sp.Child("c") != nil {
+		t.Fatal("nil span produced a child")
+	}
+	if sp.Name() != "" || sp.Items() != 0 || sp.DurationNs() != 0 || sp.Occupancy() != 0 {
+		t.Fatal("nil span reported state")
+	}
+}
+
+// TestStartSpanUnobservedAllocFree pins the no-op fast path: with no
+// run in the context, StartSpan must return the same context, a nil
+// span, and allocate nothing.
+func TestStartSpanUnobservedAllocFree(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(100, func() {
+		c, sp := StartSpan(ctx, "stage")
+		if c != ctx || sp != nil {
+			t.Fatal("unobserved StartSpan not a no-op")
+		}
+		sp.AddItems(1)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("unobserved StartSpan allocates %v per call, want 0", allocs)
+	}
+}
+
+func TestRunAndSpanFromContext(t *testing.T) {
+	bg := context.Background()
+	if RunFromContext(bg) != nil || SpanFromContext(bg) != nil {
+		t.Fatal("bare context yields an observer")
+	}
+	run := NewRun("test")
+	ctx := run.Context(bg)
+	if RunFromContext(ctx) != run {
+		t.Fatal("run not recoverable from context")
+	}
+	if SpanFromContext(ctx) != run.Root() {
+		t.Fatal("root span not current in run context")
+	}
+	cctx, sp := StartSpan(ctx, "stage")
+	if SpanFromContext(cctx) != sp {
+		t.Fatal("child span not current in derived context")
+	}
+	if RunFromContext(cctx) != run {
+		t.Fatal("run lost in derived context")
+	}
+}
+
+func TestNilRunContext(t *testing.T) {
+	var run *Run
+	ctx := run.Context(context.Background())
+	if RunFromContext(ctx) != nil {
+		t.Fatal("nil run installed an observer")
+	}
+	run.SetWorkers(4)
+	run.RecordDiagnostics(map[string]int64{"x": 1})
+	run.RecordFile("input", "nope")
+	if run.Finish() != nil {
+		t.Fatal("nil run produced a manifest")
+	}
+	if run.Logger() != nil || run.Metrics() != nil || run.Root() != nil {
+		t.Fatal("nil run exposed components")
+	}
+}

@@ -24,6 +24,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Workers normalizes a worker-count request: values <= 0 select
@@ -57,6 +60,25 @@ func ForEach(ctx context.Context, workers, n int, f func(ctx context.Context, i 
 	if w > n {
 		w = n
 	}
+
+	// When an observer rides the context the pool feeds it: task and
+	// call counters on the run's registry, busy-vs-capacity occupancy
+	// on the innermost span. All of it is timing/accounting only —
+	// task results are untouched, so determinism is unaffected. With
+	// no observer every hook below is a nil no-op.
+	var (
+		run       = obs.RunFromContext(ctx)
+		span      = obs.SpanFromContext(ctx)
+		tasks     *obs.Counter
+		poolStart time.Time
+		busyNs    atomic.Int64
+	)
+	if run != nil {
+		run.Metrics().Counter("parallel.calls").Inc()
+		tasks = run.Metrics().Counter("parallel.tasks")
+		poolStart = time.Now()
+	}
+
 	if w == 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
@@ -65,6 +87,11 @@ func ForEach(ctx context.Context, workers, n int, f func(ctx context.Context, i 
 			if err := f(ctx, i); err != nil {
 				return err
 			}
+			tasks.Inc()
+		}
+		if run != nil {
+			wall := time.Since(poolStart)
+			span.AddPool(1, wall, wall)
 		}
 		return nil
 	}
@@ -91,6 +118,10 @@ func ForEach(ctx context.Context, workers, n int, f func(ctx context.Context, i 
 	wg.Add(w)
 	for g := 0; g < w; g++ {
 		go func() {
+			if run != nil {
+				t0 := time.Now()
+				defer func() { busyNs.Add(time.Since(t0).Nanoseconds()) }()
+			}
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
@@ -111,10 +142,14 @@ func ForEach(ctx context.Context, workers, n int, f func(ctx context.Context, i 
 					fail(i, err)
 					return
 				}
+				tasks.Inc()
 			}
 		}()
 	}
 	wg.Wait()
+	if run != nil {
+		span.AddPool(w, time.Duration(busyNs.Load()), time.Since(poolStart))
+	}
 	// firstEr is nil when every task completed; like the sequential
 	// path, a cancellation that arrives after the last task is not an
 	// error (a skipped task records the parent's error above).

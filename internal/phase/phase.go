@@ -21,6 +21,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/shader"
 	"repro/internal/trace"
@@ -229,10 +230,14 @@ func DetectContext(ctx context.Context, w *trace.Workload, o Options, workers in
 	if err := o.Validate(); err != nil {
 		return Detection{}, err
 	}
+	ctx, sp := obs.StartSpan(ctx, "phase-detect")
+	defer sp.End()
 	n := len(w.Frames)
 	if n == 0 {
 		return Detection{}, fmt.Errorf("phase: workload has no frames")
 	}
+	sp.AddItems(int64(n))
+	sp.SetWorkers(parallel.Workers(workers))
 	starts := make([]int, 0, (n+o.IntervalFrames-1)/o.IntervalFrames)
 	for start := 0; start < n; start += o.IntervalFrames {
 		starts = append(starts, start)
@@ -292,6 +297,10 @@ func DetectContext(ctx context.Context, w *trace.Workload, o Options, workers in
 		det.Intervals = append(det.Intervals, Interval{Start: c.start, End: c.end, Sig: sig, Phase: id})
 	}
 	det.NumPhases = numPhases
+	if run := obs.RunFromContext(ctx); run != nil {
+		run.Metrics().Counter("phase.intervals").Add(int64(len(det.Intervals)))
+		run.Metrics().Counter("phase.phases").Add(int64(numPhases))
+	}
 	return det, nil
 }
 

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/obs"
 	"repro/internal/phase"
 	"repro/internal/subset"
 	"repro/internal/trace"
@@ -31,6 +32,12 @@ type Options struct {
 	// result's Diagnostics) instead of failing the run — pair it with a
 	// lenient trace.StreamReader to survive damaged captures.
 	Lenient bool
+
+	// Obs attaches an observability run to RunContext: the drain
+	// becomes a "stream-ingest" span and the frame/phase counts and
+	// degradation accounting feed its metrics. Nil is a complete
+	// no-op; the Result is identical either way.
+	Obs *obs.Run
 }
 
 // DefaultOptions returns the batch pipeline's defaults.
@@ -222,6 +229,13 @@ func Run(src FrameSource, opt Options) (*Result, error) {
 // ctx.Err() as soon as the context is done, so callers can bound
 // unattended ingestion with a deadline or Ctrl-C.
 func RunContext(ctx context.Context, src FrameSource, opt Options) (*Result, error) {
+	if opt.Obs != nil && obs.RunFromContext(ctx) == nil {
+		ctx = opt.Obs.Context(ctx)
+	}
+	run := obs.RunFromContext(ctx)
+	_, sp := obs.StartSpan(ctx, "stream-ingest")
+	defer sp.End()
+
 	s, err := New(src.Shell(), opt)
 	if err != nil {
 		return nil, err
@@ -240,6 +254,7 @@ func RunContext(ctx context.Context, src FrameSource, opt Options) (*Result, err
 		if err := s.Push(f); err != nil {
 			return nil, err
 		}
+		sp.AddItems(1)
 	}
 	res, err := s.Finish()
 	if err != nil {
@@ -247,6 +262,17 @@ func RunContext(ctx context.Context, src FrameSource, opt Options) (*Result, err
 	}
 	if d, ok := src.(diagnoser); ok {
 		res.Diagnostics.Add(d.Diagnostics())
+	}
+	if run != nil {
+		reg := run.Metrics()
+		reg.Counter("stream.frames").Add(int64(res.ParentFrames))
+		reg.Counter("stream.draws").Add(int64(res.ParentDraws))
+		reg.Counter("stream.phases").Add(int64(res.NumPhases))
+		reg.Counter("subset.frames").Add(int64(len(res.Frames)))
+		run.RecordDiagnostics(res.Diagnostics.Map())
+		if res.Diagnostics.Any() {
+			run.Logger().Warn("lenient ingestion degraded the capture", "diagnostics", res.Diagnostics.String())
+		}
 	}
 	return res, nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/phase"
 	"repro/internal/trace"
 )
@@ -68,6 +69,11 @@ type Options struct {
 	// fully sequential). The built subset is bit-identical at any
 	// worker count; Workers only changes wall-clock time.
 	Workers int
+
+	// Obs attaches an observability run for callers that drive Build
+	// directly (core threads its own). Nil is a complete no-op, and
+	// spans/metrics never alter the built subset.
+	Obs *obs.Run
 }
 
 // DefaultOptions returns the experiment configuration.
@@ -90,6 +96,11 @@ func BuildContext(ctx context.Context, w *trace.Workload, opt Options) (*Subset,
 	if opt.FramesPerPhase < 0 {
 		return nil, fmt.Errorf("subset: FramesPerPhase %d < 0", opt.FramesPerPhase)
 	}
+	if opt.Obs != nil && obs.RunFromContext(ctx) == nil {
+		ctx = opt.Obs.Context(ctx)
+	}
+	ctx, sp := obs.StartSpan(ctx, "subset-build")
+	defer sp.End()
 	perPhase := opt.FramesPerPhase
 	if perPhase == 0 {
 		perPhase = 1
@@ -125,7 +136,10 @@ func BuildContext(ctx context.Context, w *trace.Workload, opt Options) (*Subset,
 			})
 		}
 	}
-	cfs, err := fc.ClusterFrames(ctx, w.Frames, keep, opt.Workers)
+	cctx, csp := obs.StartSpan(ctx, "cluster-frames")
+	csp.AddItems(int64(len(keep)))
+	cfs, err := fc.ClusterFrames(cctx, w.Frames, keep, opt.Workers)
+	csp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -139,6 +153,7 @@ func BuildContext(ctx context.Context, w *trace.Workload, opt Options) (*Subset,
 		}
 		s.Frames = append(s.Frames, sf)
 	}
+	sp.AddItems(int64(len(s.Frames)))
 	return s, nil
 }
 

@@ -15,6 +15,7 @@ import (
 	"repro/internal/dcmath"
 	"repro/internal/gpu"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/subset"
 	"repro/internal/trace"
@@ -107,6 +108,11 @@ func RunParallel(ctx context.Context, w *trace.Workload, s *subset.Subset, cfgs 
 	if len(cfgs) < 2 {
 		return Result{}, fmt.Errorf("sweep: need at least 2 configs, have %d", len(cfgs))
 	}
+	ctx, sp := obs.StartSpan(ctx, "validation-sweep")
+	defer sp.End()
+	sp.AddItems(int64(len(cfgs)))
+	sp.SetWorkers(parallel.Workers(workers))
+	obs.RunFromContext(ctx).Metrics().Counter("sweep.configs_priced").Add(int64(len(cfgs)))
 	points, err := parallel.MapSlice(ctx, workers, cfgs, func(ctx context.Context, i int, cfg gpu.Config) (Point, error) {
 		sim, err := gpu.NewSimulator(cfg, w)
 		if err != nil {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/shader"
+	"repro/internal/traceerr"
 )
 
 // Validate checks referential and value integrity of the workload:
@@ -83,6 +84,34 @@ func (w *Workload) SanitizeFrame(f *Frame) (int, error) {
 	dropped := len(f.Draws) - len(kept)
 	f.Draws = kept
 	return dropped, errors.Join(errs...)
+}
+
+// Sanitize drops invalid draws and unusable frames from w in place —
+// the whole-workload lenient repair pass — returning the accounting.
+// It fails only when the workload is structurally beyond repair (no
+// name or shader registry) or when nothing usable survives.
+func (w *Workload) Sanitize() (traceerr.Diagnostics, error) {
+	var diag traceerr.Diagnostics
+	if w.Name == "" || w.Shaders == nil {
+		return diag, fmt.Errorf("trace: workload beyond repair: %w", w.Validate())
+	}
+	kept := w.Frames[:0]
+	for fi := range w.Frames {
+		f := &w.Frames[fi]
+		dropped, _ := w.SanitizeFrame(f)
+		diag.DrawsDropped += dropped
+		if len(f.Draws) == 0 {
+			diag.FramesSkipped++
+			continue
+		}
+		kept = append(kept, *f)
+	}
+	w.Frames = kept
+	if len(w.Frames) == 0 {
+		return diag, fmt.Errorf("trace: no usable frames survive sanitization (%v): %w",
+			diag, traceerr.ErrInvalidFrame)
+	}
+	return diag, nil
 }
 
 func (w *Workload) validateDraw(d *DrawCall) error {

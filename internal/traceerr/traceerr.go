@@ -103,6 +103,19 @@ func (d *Diagnostics) Add(o Diagnostics) {
 	d.BytesDiscarded += o.BytesDiscarded
 }
 
+// Map flattens the accounting into named totals — the form the
+// observability layer's diagnostics section and metrics feed consume.
+// Every class is present even at zero, so manifests name what was
+// tracked, not just what happened.
+func (d Diagnostics) Map() map[string]int64 {
+	return map[string]int64{
+		"records_resynced": int64(d.RecordsResynced),
+		"frames_skipped":   int64(d.FramesSkipped),
+		"draws_dropped":    int64(d.DrawsDropped),
+		"bytes_discarded":  d.BytesDiscarded,
+	}
+}
+
 // String renders the accounting for CLI summaries.
 func (d Diagnostics) String() string {
 	if !d.Any() {
