@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 vet build test fuzz-seeds bench bench-parallel clean
+.PHONY: tier1 vet lint build test cover fuzz-seeds bench bench-parallel bench-cache clean
 
 # tier1 is the merge gate: vet, build, race-enabled tests, and every
 # fuzz target replayed over its seed corpus (without -fuzz the seeds
@@ -10,6 +10,15 @@ tier1: vet build test fuzz-seeds
 vet:
 	$(GO) vet ./...
 
+# lint runs vet plus staticcheck when the binary is available; the
+# gate stays green on machines (and CI images) without it.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipped"; \
+	fi
+
 build:
 	$(GO) build ./...
 
@@ -17,7 +26,16 @@ test:
 	$(GO) test -race ./...
 
 fuzz-seeds:
-	$(GO) test -run Fuzz -v ./internal/trace/
+	$(GO) test -run Fuzz -v ./internal/trace/ ./internal/cache/
+
+# cover enforces the result cache's coverage floor: the subsystem that
+# silently serves stale or corrupt results when wrong earns the
+# strictest gate.
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/cache/
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	echo "internal/cache coverage: $$total%"; \
+	awk -v t="$$total" 'BEGIN { exit !(t + 0 >= 70) }' || { echo "FAIL: internal/cache coverage $$total% below the 70% gate"; exit 1; }
 
 # bench runs every benchmark (experiments + parallel engine) and
 # records the parallel speedup curves in BENCH_parallel.json.
@@ -31,6 +49,13 @@ bench-parallel:
 	$(GO) test -bench='^BenchmarkParallel' -run '^$$' . | tee bench.out
 	$(GO) run ./cmd/benchjson -match '^Parallel' -o BENCH_parallel.json < bench.out
 
+# bench-cache times the validation sweep against a cold and a warm
+# result cache and records the cold/warm ratio in BENCH_cache.json
+# (warm_speedup_vs_cold; the cache's contract is >= 2x).
+bench-cache:
+	$(GO) test -bench='^BenchmarkCacheSweep' -run '^$$' . | tee bench-cache.out
+	$(GO) run ./cmd/benchjson -match '^CacheSweep' -o BENCH_cache.json < bench-cache.out
+
 clean:
 	$(GO) clean ./...
-	rm -f bench.out BENCH_parallel.json
+	rm -f bench.out bench-cache.out cover.out BENCH_parallel.json BENCH_cache.json

@@ -1,0 +1,61 @@
+// Cold-vs-warm benchmarks for the content-addressed result cache: the
+// same 6-config validation sweep priced with an empty cache
+// (mode=cold, every parent priced from scratch) and with a fully
+// populated one (mode=warm, every parent price served by fingerprint).
+// `make bench-cache` records the cold/warm ratio in BENCH_cache.json
+// as warm_speedup_vs_cold; the cache pays for itself when that ratio
+// clears 2x, which it does by a wide margin because a warm sweep skips
+// parent pricing — the dominant cost — entirely.
+package repro_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/gpu"
+	"repro/internal/subset"
+	"repro/internal/sweep"
+)
+
+func BenchmarkCacheSweep(b *testing.B) {
+	w := suite(b)[0]
+	sub, err := subset.Build(w, subset.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfgs := sweep.CoreClockSweep(gpu.BaseConfig(), []float64{0.6, 0.8, 1.0, 1.2, 1.6, 2.0})
+	fp := w.Fingerprint()
+
+	b.Run("mode=cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			c, err := cache.New(cache.Config{Dir: b.TempDir(), MaxMemBytes: 256 << 20})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			ctx := cache.WithWorkload(context.Background(), c, fp)
+			if _, err := sweep.RunParallel(ctx, w, sub, cfgs, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("mode=warm", func(b *testing.B) {
+		c, err := cache.New(cache.Config{Dir: b.TempDir(), MaxMemBytes: 256 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := cache.WithWorkload(context.Background(), c, fp)
+		if _, err := sweep.RunParallel(ctx, w, sub, cfgs, 1); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sweep.RunParallel(ctx, w, sub, cfgs, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

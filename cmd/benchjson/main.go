@@ -33,6 +33,10 @@ type Benchmark struct {
 	// Workers is parsed from a "workers=N" path element (0 if absent).
 	Workers int `json:"workers,omitempty"`
 
+	// Mode is parsed from a "mode=cold" / "mode=warm" path element
+	// (empty if absent) — the cache benchmarks' arm convention.
+	Mode string `json:"mode,omitempty"`
+
 	Iterations int64 `json:"iterations"`
 
 	// Metrics maps unit to value: "ns/op", "B/op", "allocs/op" and any
@@ -52,12 +56,20 @@ type Output struct {
 	// e.g. {"ParallelValidationSweep": {"4": 2.31}}. Only present when
 	// a group has a workers=1 arm to normalize against.
 	SpeedupVsSequential map[string]map[string]float64 `json:"speedup_vs_sequential,omitempty"`
+
+	// WarmSpeedupVsCold maps a benchmark group (the name up to
+	// "/mode=") to ns/op(mode=cold) / ns/op(mode=warm), e.g.
+	// {"CacheSweep": 7.9}. Only present when a group has both arms —
+	// this is how `make bench-cache` records the result-cache payoff
+	// in BENCH_cache.json.
+	WarmSpeedupVsCold map[string]float64 `json:"warm_speedup_vs_cold,omitempty"`
 }
 
 var (
 	benchLine = regexp.MustCompile(`^Benchmark(\S+)\s+(\d+)\s+(.+)$`)
 	cpuSuffix = regexp.MustCompile(`-\d+$`)
 	workersRe = regexp.MustCompile(`(?:^|/)workers=(\d+)(?:$|/)`)
+	modeRe    = regexp.MustCompile(`(?:^|/)mode=(cold|warm)(?:$|/)`)
 )
 
 func parseLine(line string) (Benchmark, bool) {
@@ -72,6 +84,9 @@ func parseLine(line string) (Benchmark, bool) {
 	b.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
 	if wm := workersRe.FindStringSubmatch(b.Name); wm != nil {
 		b.Workers, _ = strconv.Atoi(wm[1])
+	}
+	if mm := modeRe.FindStringSubmatch(b.Name); mm != nil {
+		b.Mode = mm[1]
 	}
 	fields := strings.Fields(m[3])
 	for i := 0; i+1 < len(fields); i += 2 {
@@ -120,6 +135,39 @@ func groupOf(name string) string {
 	return name
 }
 
+// warmSpeedups derives per-group cold/warm ratios: how much faster the
+// warm-cache arm ran than the cold-cache arm.
+func warmSpeedups(benches []Benchmark) map[string]float64 {
+	cold := map[string]float64{}
+	warm := map[string]float64{}
+	for _, b := range benches {
+		ns, ok := b.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		switch b.Mode {
+		case "cold":
+			cold[modeGroupOf(b.Name)] = ns
+		case "warm":
+			warm[modeGroupOf(b.Name)] = ns
+		}
+	}
+	out := map[string]float64{}
+	for g, c := range cold {
+		if w, ok := warm[g]; ok && w > 0 {
+			out[g] = c / w
+		}
+	}
+	return out
+}
+
+func modeGroupOf(name string) string {
+	if i := strings.Index(name, "/mode="); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
 func run(ctx context.Context, run *obs.Run, matchPat, outPath string) error {
 	var match *regexp.Regexp
 	if matchPat != "" {
@@ -160,7 +208,8 @@ func run(ctx context.Context, run *obs.Run, matchPat, outPath string) error {
 
 	_, dsp := obs.StartSpan(ctx, "derive-speedups")
 	out.SpeedupVsSequential = speedups(out.Benchmarks)
-	dsp.AddItems(int64(len(out.SpeedupVsSequential)))
+	out.WarmSpeedupVsCold = warmSpeedups(out.Benchmarks)
+	dsp.AddItems(int64(len(out.SpeedupVsSequential) + len(out.WarmSpeedupVsCold)))
 	dsp.End()
 
 	_, wsp := obs.StartSpan(ctx, "write-json")

@@ -74,3 +74,38 @@ func TestSpeedups(t *testing.T) {
 		t.Error("non-worker benchmark got a speedup curve")
 	}
 }
+
+func TestParseLineMode(t *testing.T) {
+	b, ok := parseLine("BenchmarkCacheSweep/mode=warm-8 \t 50\t 2000000 ns/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if b.Mode != "warm" {
+		t.Errorf("mode = %q, want warm", b.Mode)
+	}
+	if b.Name != "CacheSweep/mode=warm" {
+		t.Errorf("name = %q", b.Name)
+	}
+	if b, _ := parseLine("BenchmarkPlain-8 \t 50\t 2000 ns/op"); b.Mode != "" {
+		t.Errorf("mode = %q on a modeless benchmark", b.Mode)
+	}
+}
+
+func TestWarmSpeedups(t *testing.T) {
+	benches := []Benchmark{
+		{Name: "CacheSweep/mode=cold", Mode: "cold", Metrics: map[string]float64{"ns/op": 8000}},
+		{Name: "CacheSweep/mode=warm", Mode: "warm", Metrics: map[string]float64{"ns/op": 1000}},
+		{Name: "OnlyCold/mode=cold", Mode: "cold", Metrics: map[string]float64{"ns/op": 500}},
+		{Name: "Plain", Metrics: map[string]float64{"ns/op": 10}},
+	}
+	s := warmSpeedups(benches)
+	if got := s["CacheSweep"]; math.Abs(got-8) > 1e-12 {
+		t.Errorf("CacheSweep warm speedup = %v, want 8", got)
+	}
+	if _, ok := s["OnlyCold"]; ok {
+		t.Error("group without a warm arm got a speedup")
+	}
+	if _, ok := s["Plain"]; ok {
+		t.Error("modeless benchmark got a speedup")
+	}
+}

@@ -1,7 +1,6 @@
 package main
 
 import (
-	"context"
 	"fmt"
 	"os"
 
@@ -34,7 +33,7 @@ func (c *ctx) ensureEvals() error {
 		if err != nil {
 			return err
 		}
-		rep, err := metrics.EvaluateWorkloadContext(context.Background(), sim, w, fc, metrics.DefaultOutlierThreshold, c.workers)
+		rep, err := metrics.EvaluateWorkloadContext(c.wctx(w), sim, w, fc, metrics.DefaultOutlierThreshold, c.workers)
 		if err != nil {
 			return err
 		}

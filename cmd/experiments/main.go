@@ -17,15 +17,18 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sort"
 	"strings"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/obs"
 	"repro/internal/subset"
 	"repro/internal/synth"
@@ -72,16 +75,44 @@ type ctx struct {
 	short   bool
 	workers int // goroutine bound for every parallel stage
 
+	// cache is the optional content-addressed result cache
+	// (-cache-dir/-cache-mem): experiments over the same corpus
+	// workload then share feature extraction, clustering and parent
+	// pricing instead of recomputing them. Nil disables it; results
+	// are identical either way.
+	cache *cache.Cache
+	fps   map[*trace.Workload]trace.Fingerprint
+
 	suite []*trace.Workload
 	evals []gameEval // filled by ensureEvals (E2-E4)
 }
 
 // subsetOptions is the default subset configuration with the run's
-// worker bound applied.
+// worker bound and result cache applied.
 func (c *ctx) subsetOptions() subset.Options {
 	opt := subset.DefaultOptions()
 	opt.Workers = c.workers
+	opt.Cache = c.cache
 	return opt
+}
+
+// wctx returns a context carrying the run's result cache bound to w.
+// Fingerprints are memoized per workload (the corpus is built once and
+// shared), so repeated stages hash each workload only once. Without a
+// cache it is a plain background context.
+func (c *ctx) wctx(w *trace.Workload) context.Context {
+	if c.cache == nil {
+		return context.Background()
+	}
+	if c.fps == nil {
+		c.fps = make(map[*trace.Workload]trace.Fingerprint)
+	}
+	fp, ok := c.fps[w]
+	if !ok {
+		fp = w.Fingerprint()
+		c.fps[w] = fp
+	}
+	return cache.WithWorkload(context.Background(), c.cache, fp)
 }
 
 func (c *ctx) ensureSuite() error {
@@ -128,6 +159,8 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "corpus seed")
 		short    = flag.Bool("short", false, "shrink corpus to 48 frames/game for quick runs")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "max goroutines for evaluations and sweeps (results are identical at any count)")
+		cacheDir = flag.String("cache-dir", "", "directory for the on-disk result cache (empty = memory-only when -cache-mem is set, else no caching)")
+		cacheMem = flag.Int("cache-mem", 0, "in-memory result cache budget in MiB (0 with no -cache-dir disables caching)")
 		logLevel = flag.String("log-level", "error", "structured logging to stderr: debug, info, warn, error or off")
 		manifest = flag.String("manifest", "", "write the run manifest (one stage per experiment, metrics, durations) to this JSON file")
 		pprofDir = flag.String("pprof-dir", "", "write cpu.pprof and heap.pprof to this directory")
@@ -173,25 +206,49 @@ func main() {
 	}
 
 	c := &ctx{seed: *seed, short: *short, workers: *workers}
-	for _, e := range experiments {
+	c.cache, err = cache.FromFlags(*cacheDir, *cacheMem)
+	if err != nil {
+		run.Logger().Error("cache setup failed", "err", err, "class", obs.ErrorClass(err))
+		finish(2)
+	}
+
+	if failed := runAll(experiments, selected, c, run, os.Stdout); failed > 0 {
+		finish(1)
+	}
+	finish(0)
+}
+
+// runAll executes the selected experiments in order. A failed
+// experiment is logged with its error class and skipped — the
+// remaining experiments still run, since each regenerates an
+// independent table — and the number of failures is returned so main
+// can exit nonzero after the batch completes.
+func runAll(exps []experiment, selected map[string]bool, c *ctx, run *obs.Run, out io.Writer) int {
+	failed := 0
+	for _, e := range exps {
 		if len(selected) > 0 && !selected[e.id] {
 			continue
 		}
-		fmt.Printf("==== %s: %s ====\n", e.id, e.title)
+		fmt.Fprintf(out, "==== %s: %s ====\n", e.id, e.title)
 		run.Logger().Info("experiment start", "id", e.id, "title", e.title)
 		sp := run.Root().Child(e.id)
 		start := time.Now()
 		err := e.run(c)
 		sp.End()
 		if err != nil {
+			failed++
 			run.Logger().Error("experiment failed",
 				"id", e.id,
 				"dur", time.Since(start).Round(time.Millisecond),
 				"class", errClass(err),
 				"err", err)
-			finish(1)
+			fmt.Fprintf(out, "---- %s FAILED after %s: %v ----\n\n", e.id, time.Since(start).Round(time.Millisecond), err)
+			continue
 		}
-		fmt.Printf("---- %s done in %s ----\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(out, "---- %s done in %s ----\n\n", e.id, time.Since(start).Round(time.Millisecond))
 	}
-	finish(0)
+	if failed > 0 {
+		run.Logger().Error("experiment batch finished with failures", "failed", failed, "class", "partial-failure")
+	}
+	return failed
 }

@@ -10,6 +10,10 @@
 // trace (dropping invalid draws and unusable frames) instead of
 // rejecting it, and reports what was skipped.
 //
+// -cache-dir/-cache-mem enable the content-addressed result cache: a
+// repeat pricing of the same trace on the same config is then served
+// from the cache instead of repriced, with byte-identical output.
+//
 // Observability: -log-level {debug,info,warn,error,off} enables
 // structured stderr logging, -manifest out.json exports the run
 // manifest (stages, metrics, diagnostics, input checksum), -pprof-dir
@@ -27,10 +31,12 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/charz"
 	"repro/internal/dcmath"
 	"repro/internal/gpu"
 	"repro/internal/obs"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 )
 
@@ -43,6 +49,8 @@ type config struct {
 	lenient   bool
 	timeout   time.Duration
 	workers   int
+	cacheDir  string
+	cacheMem  int
 
 	logLevel string
 	manifest string
@@ -61,6 +69,8 @@ func main() {
 	flag.BoolVar(&cfg.lenient, "lenient", false, "sanitize a damaged trace (drop invalid draws/frames) and report diagnostics instead of failing")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "abort the run after this long (0 = no limit)")
 	flag.IntVar(&cfg.workers, "workers", runtime.GOMAXPROCS(0), "max goroutines for frame pricing (output is identical at any count)")
+	flag.StringVar(&cfg.cacheDir, "cache-dir", "", "directory for the on-disk result cache (empty = memory-only when -cache-mem is set, else no caching)")
+	flag.IntVar(&cfg.cacheMem, "cache-mem", 0, "in-memory result cache budget in MiB (0 with no -cache-dir disables caching)")
 	flag.StringVar(&cfg.logLevel, "log-level", "off", "structured logging to stderr: debug, info, warn, error or off")
 	flag.StringVar(&cfg.manifest, "manifest", "", "write the run manifest (stages, metrics, diagnostics, checksums) to this JSON file")
 	flag.StringVar(&cfg.pprofDir, "pprof-dir", "", "write cpu.pprof and heap.pprof to this directory")
@@ -140,9 +150,25 @@ func price(ctx context.Context, run *obs.Run, cfg config) error {
 	if err != nil {
 		return err
 	}
+	rcache, err := cache.FromFlags(cfg.cacheDir, cfg.cacheMem)
+	if err != nil {
+		return err
+	}
 	pctx, psp := obs.StartSpan(ctx, "price-frames")
 	psp.AddItems(int64(w.NumFrames()))
-	res, err := sim.RunParallel(pctx, cfg.workers)
+	var res gpu.RunResult
+	if rcache != nil {
+		// The fingerprint describes the sanitized workload, so a lenient
+		// and a strict run over the same damaged trace key differently.
+		_, fsp := obs.StartSpan(pctx, "fingerprint")
+		fp := w.Fingerprint()
+		fsp.End()
+		priced, perr := sweep.PriceParent(cache.WithWorkload(pctx, rcache, fp), sim, w, cfgGPU)
+		err = perr
+		res = priced.RunResult(cfgGPU.Name)
+	} else {
+		res, err = sim.RunParallel(pctx, cfg.workers)
+	}
 	psp.End()
 	if err != nil {
 		return err

@@ -23,6 +23,12 @@
 // (default GOMAXPROCS). The output is bit-identical at any worker
 // count; the flag trades wall-clock time only.
 //
+// -cache-dir and -cache-mem enable the content-addressed result cache:
+// feature matrices, clusterings, phase vectors and parent pricing are
+// then reused across runs over the same trace (-cache-dir persists
+// them on disk; -cache-mem sets the in-memory budget in MiB). Caching
+// never changes the report — warm and cold runs are byte-identical.
+//
 // Observability: -log-level {debug,info,warn,error,off} enables
 // structured key=value logging to stderr (default off), -manifest
 // out.json exports the run manifest (stage tree with durations and
@@ -43,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/stream"
@@ -60,6 +67,8 @@ type config struct {
 	lenient   bool
 	timeout   time.Duration
 	workers   int
+	cacheDir  string
+	cacheMem  int
 
 	logLevel string
 	manifest string
@@ -78,6 +87,8 @@ func main() {
 	flag.BoolVar(&cfg.lenient, "lenient", false, "skip damaged records/frames and report diagnostics instead of failing")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "abort the run after this long (0 = no limit)")
 	flag.IntVar(&cfg.workers, "workers", runtime.GOMAXPROCS(0), "max goroutines for clustering evaluation, phase detection and the validation sweep (output is identical at any count)")
+	flag.StringVar(&cfg.cacheDir, "cache-dir", "", "directory for the on-disk result cache (empty = memory-only when -cache-mem is set, else no caching)")
+	flag.IntVar(&cfg.cacheMem, "cache-mem", 0, "in-memory result cache budget in MiB (0 with no -cache-dir disables caching)")
 	flag.StringVar(&cfg.logLevel, "log-level", "off", "structured logging to stderr: debug, info, warn, error or off")
 	flag.StringVar(&cfg.manifest, "manifest", "", "write the run manifest (stages, metrics, diagnostics, checksums) to this JSON file")
 	flag.StringVar(&cfg.pprofDir, "pprof-dir", "", "write cpu.pprof and heap.pprof to this directory")
@@ -187,6 +198,10 @@ func runTrace(ctx context.Context, run *obs.Run, cfg config) error {
 	opt.SkipClusteringEval = cfg.fast
 	opt.Lenient = cfg.lenient
 	opt.Workers = cfg.workers
+	opt.Cache, err = cache.FromFlags(cfg.cacheDir, cfg.cacheMem)
+	if err != nil {
+		return err
+	}
 	s, err := core.New(opt)
 	if err != nil {
 		return err

@@ -1,0 +1,108 @@
+package cache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/traceerr"
+)
+
+// On-disk entry format, schema version 1:
+//
+//	offset  size  field
+//	0       4     magic "S3DC"
+//	4       2     entry schema version (big endian)
+//	6       8     payload length (big endian)
+//	14      32    SHA-256 of the payload
+//	46      n     payload (gob-encoded value)
+//
+// The checksum is over the payload only: the header fields are
+// validated structurally. Any framing or checksum violation classifies
+// under the traceerr taxonomy (ErrCorruptRecord / ErrTruncated /
+// ErrVersionMismatch / ErrTooLarge) and the cache treats the entry as
+// absent — a corrupt cache degrades to recompute, never to failure.
+
+// EntrySchemaVersion is the on-disk entry format version. Bumping it
+// orphans (and eventually overwrites) every existing on-disk entry.
+const EntrySchemaVersion = 1
+
+var entryMagic = [4]byte{'S', '3', 'D', 'C'}
+
+const entryHeaderSize = 4 + 2 + 8 + sha256.Size
+
+// MaxEntryBytes caps a single entry's payload. Reads reject larger
+// claimed lengths before allocating, so a corrupt length field cannot
+// exhaust memory.
+const MaxEntryBytes = 1 << 30
+
+// encodeEntry frames a gob payload for disk storage.
+func encodeEntry(payload []byte) []byte {
+	out := make([]byte, entryHeaderSize+len(payload))
+	copy(out[0:4], entryMagic[:])
+	binary.BigEndian.PutUint16(out[4:6], EntrySchemaVersion)
+	binary.BigEndian.PutUint64(out[6:14], uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	copy(out[14:entryHeaderSize], sum[:])
+	copy(out[entryHeaderSize:], payload)
+	return out
+}
+
+// decodeEntry validates the framing and checksum of an on-disk entry
+// and returns its payload. Every failure wraps a traceerr sentinel so
+// callers can distinguish corruption (fall back to recompute, drop the
+// file) from a version skew (treat as a plain miss).
+func decodeEntry(data []byte) ([]byte, error) {
+	if len(data) < entryHeaderSize {
+		return nil, fmt.Errorf("cache: entry %d bytes, header needs %d: %w",
+			len(data), entryHeaderSize, traceerr.ErrTruncated)
+	}
+	if !bytes.Equal(data[0:4], entryMagic[:]) {
+		return nil, fmt.Errorf("cache: bad entry magic %q: %w", data[0:4], traceerr.ErrCorruptRecord)
+	}
+	if v := binary.BigEndian.Uint16(data[4:6]); v != EntrySchemaVersion {
+		return nil, fmt.Errorf("cache: entry schema v%d, this build speaks v%d: %w",
+			v, EntrySchemaVersion, traceerr.ErrVersionMismatch)
+	}
+	n := binary.BigEndian.Uint64(data[6:14])
+	if n > MaxEntryBytes {
+		return nil, fmt.Errorf("cache: entry claims %d byte payload (cap %d): %w",
+			n, int64(MaxEntryBytes), traceerr.ErrTooLarge)
+	}
+	payload := data[entryHeaderSize:]
+	if uint64(len(payload)) < n {
+		return nil, fmt.Errorf("cache: entry payload %d bytes, header claims %d: %w",
+			len(payload), n, traceerr.ErrTruncated)
+	}
+	if uint64(len(payload)) > n {
+		return nil, fmt.Errorf("cache: entry has %d trailing bytes: %w",
+			uint64(len(payload))-n, traceerr.ErrCorruptRecord)
+	}
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], data[14:entryHeaderSize]) {
+		return nil, fmt.Errorf("cache: entry checksum mismatch: %w", traceerr.ErrCorruptRecord)
+	}
+	return payload, nil
+}
+
+// encodePayload gob-encodes a value for caching.
+func encodePayload(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("cache: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodePayload decodes a cached gob payload into dst (a pointer).
+// Every hit decodes a fresh copy, so callers own the returned value
+// outright — they may mutate it (normalizers do, in place) without
+// poisoning the cache.
+func decodePayload(payload []byte, dst any) error {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(dst); err != nil {
+		return fmt.Errorf("cache: decode: %w", err)
+	}
+	return nil
+}

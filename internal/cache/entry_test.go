@@ -1,0 +1,78 @@
+package cache
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"repro/internal/traceerr"
+)
+
+func TestEntryRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 4096)} {
+		enc := encodeEntry(payload)
+		got, err := decodeEntry(enc)
+		if err != nil {
+			t.Fatalf("payload %d bytes: %v", len(payload), err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("payload %d bytes: round trip mismatch", len(payload))
+		}
+	}
+}
+
+func TestEntryErrorTaxonomy(t *testing.T) {
+	valid := encodeEntry([]byte("hello cache"))
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantErr error
+	}{
+		{"empty", func(e []byte) []byte { return nil }, traceerr.ErrTruncated},
+		{"short header", func(e []byte) []byte { return e[:entryHeaderSize-1] }, traceerr.ErrTruncated},
+		{"truncated payload", func(e []byte) []byte { return e[:len(e)-3] }, traceerr.ErrTruncated},
+		{"bad magic", func(e []byte) []byte { e[0] ^= 0xFF; return e }, traceerr.ErrCorruptRecord},
+		{"future version", func(e []byte) []byte {
+			binary.BigEndian.PutUint16(e[4:6], EntrySchemaVersion+1)
+			return e
+		}, traceerr.ErrVersionMismatch},
+		{"huge claimed length", func(e []byte) []byte {
+			binary.BigEndian.PutUint64(e[6:14], MaxEntryBytes+1)
+			return e
+		}, traceerr.ErrTooLarge},
+		{"trailing bytes", func(e []byte) []byte { return append(e, 0) }, traceerr.ErrCorruptRecord},
+		{"payload bit flip", func(e []byte) []byte { e[len(e)-1] ^= 0x01; return e }, traceerr.ErrCorruptRecord},
+		{"checksum bit flip", func(e []byte) []byte { e[14] ^= 0x01; return e }, traceerr.ErrCorruptRecord},
+	}
+	for _, tc := range cases {
+		enc := tc.mutate(append([]byte(nil), valid...))
+		_, err := decodeEntry(enc)
+		if err == nil {
+			t.Errorf("%s: decoded successfully", tc.name)
+			continue
+		}
+		if !errors.Is(err, tc.wantErr) {
+			t.Errorf("%s: error %v, want %v", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestPayloadRoundTrip(t *testing.T) {
+	type value struct {
+		Name string
+		Xs   []float64
+	}
+	in := value{Name: "v", Xs: []float64{1, 2.5, -3}}
+	enc, err := encodePayload(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out value
+	if err := decodePayload(enc, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != in.Name || len(out.Xs) != len(in.Xs) {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}

@@ -1,0 +1,17 @@
+package cache
+
+// FromFlags builds a cache from the conventional CLI flags: dir is
+// -cache-dir (empty = no disk tier) and memMiB is -cache-mem (the
+// in-memory budget in MiB; <= 0 selects DefaultMaxMemBytes). It
+// returns (nil, nil) — caching disabled — when both are unset, so
+// callers can pass the result straight into an Options.Cache field.
+func FromFlags(dir string, memMiB int) (*Cache, error) {
+	if dir == "" && memMiB <= 0 {
+		return nil, nil
+	}
+	cfg := Config{Dir: dir}
+	if memMiB > 0 {
+		cfg.MaxMemBytes = int64(memMiB) << 20
+	}
+	return New(cfg)
+}

@@ -1,0 +1,105 @@
+package cache
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzCacheEntryDecode drives arbitrary bytes through the on-disk
+// entry decoder and, for inputs that pass framing, through a gob
+// payload decode — the exact path a damaged cache file takes. The
+// invariants: never panic, never allocate from a lying length field,
+// and on success round-trip the payload verbatim.
+func FuzzCacheEntryDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("S3DC"))
+	f.Add(encodeEntry(nil))
+	f.Add(encodeEntry([]byte("hello")))
+	if p, err := encodePayload(&payload{N: 3, Xs: []float64{1, 2}}); err == nil {
+		f.Add(encodeEntry(p))
+	}
+	short := encodeEntry([]byte("truncate me"))
+	f.Add(short[:len(short)-4])
+	flipped := encodeEntry([]byte("flip me"))
+	flipped[len(flipped)-1] ^= 0x80
+	f.Add(flipped)
+	future := encodeEntry([]byte("future"))
+	binary.BigEndian.PutUint16(future[4:6], 0xFFFF)
+	f.Add(future)
+	huge := encodeEntry(nil)
+	binary.BigEndian.PutUint64(huge[6:14], 1<<62)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payloadBytes, err := decodeEntry(data)
+		if err != nil {
+			// Damaged framing must be an error, never a panic; the
+			// cache treats it as a miss.
+			return
+		}
+		if !bytes.Equal(encodeEntry(payloadBytes), data) {
+			t.Fatalf("decoded entry does not re-encode to its input")
+		}
+		// A framed payload is still arbitrary bytes to gob: decoding
+		// may fail, but must not panic.
+		var v payload
+		_ = decodePayload(payloadBytes, &v)
+	})
+}
+
+// FuzzCacheFileLookup plants arbitrary bytes as an on-disk entry and
+// asserts the full GetOrCompute path always degrades to recompute:
+// whatever the file holds, the caller gets the computed value or a
+// decoded identical one — never an error, never a panic.
+func FuzzCacheFileLookup(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+	f.Add(encodeEntry([]byte("not a gob")))
+	if p, err := encodePayload(&payload{N: 1}); err == nil {
+		f.Add(encodeEntry(p))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		c, err := New(Config{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := NewKey("fuzz", 1).Sum()
+		path := c.path(key)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		v, err := GetOrCompute(context.Background(), c, key, func() (payload, error) {
+			return payload{N: 77}, nil
+		})
+		if err != nil {
+			t.Fatalf("damaged cache file surfaced an error: %v", err)
+		}
+		// Either the planted bytes decoded to a valid payload (served)
+		// or anything else happened and we computed. Both are fine;
+		// a zero struct with no compute would be a real bug.
+		if v.N != 77 {
+			// Served from the planted file: it must then be a valid
+			// entry whose gob decodes as payload.
+			pb, err := decodeEntry(data)
+			if err != nil {
+				t.Fatalf("served %+v from an unframeable file", v)
+			}
+			var want payload
+			if err := decodePayload(pb, &want); err != nil {
+				t.Fatalf("served %+v from an undecodable payload", v)
+			}
+			if v.N != want.N {
+				t.Fatalf("served %+v, file holds %+v", v, want)
+			}
+		}
+	})
+}

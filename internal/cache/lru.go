@@ -1,0 +1,108 @@
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// memEntry is one resident in-memory entry: the encoded payload, never
+// a decoded value, so hits always decode a private copy and cached
+// state can never be mutated through an alias.
+type memEntry struct {
+	key  Key
+	data []byte
+}
+
+// memEntryOverhead approximates the bookkeeping bytes per entry (list
+// element, map slot, key) charged against the budget on top of the
+// payload.
+const memEntryOverhead = 128
+
+// lru is a byte-budgeted LRU of encoded entries. All methods are safe
+// for concurrent use.
+type lru struct {
+	mu    sync.Mutex
+	max   int64
+	size  int64
+	ll    *list.List // front = most recently used
+	items map[Key]*list.Element
+}
+
+func newLRU(maxBytes int64) *lru {
+	return &lru{max: maxBytes, ll: list.New(), items: map[Key]*list.Element{}}
+}
+
+func entryCost(data []byte) int64 { return int64(len(data)) + memEntryOverhead }
+
+// get returns the entry's payload and marks it most recently used.
+func (l *lru) get(key Key) ([]byte, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	el, ok := l.items[key]
+	if !ok {
+		return nil, false
+	}
+	l.ll.MoveToFront(el)
+	return el.Value.(*memEntry).data, true
+}
+
+// add inserts (or refreshes) an entry and returns how many residents
+// were evicted to fit it. An entry bigger than the whole budget is not
+// admitted at all (evicting everything for one unstorable value helps
+// nobody).
+func (l *lru) add(key Key, data []byte) (evicted int) {
+	cost := entryCost(data)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if cost > l.max {
+		return 0
+	}
+	if el, ok := l.items[key]; ok {
+		old := el.Value.(*memEntry)
+		l.size += cost - entryCost(old.data)
+		old.data = data
+		l.ll.MoveToFront(el)
+	} else {
+		l.items[key] = l.ll.PushFront(&memEntry{key: key, data: data})
+		l.size += cost
+	}
+	for l.size > l.max {
+		back := l.ll.Back()
+		if back == nil {
+			break
+		}
+		l.evict(back)
+		evicted++
+	}
+	return evicted
+}
+
+// remove drops an entry if present.
+func (l *lru) remove(key Key) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if el, ok := l.items[key]; ok {
+		l.evict(el)
+	}
+}
+
+func (l *lru) evict(el *list.Element) {
+	e := el.Value.(*memEntry)
+	l.ll.Remove(el)
+	delete(l.items, e.key)
+	l.size -= entryCost(e.data)
+}
+
+// bytes returns the current resident budget use.
+func (l *lru) bytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// len returns the resident entry count.
+func (l *lru) len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.items)
+}

@@ -1,0 +1,113 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+)
+
+func lruKey(i int) Key { return NewKey("lru-test", 1).Int(int64(i)).Sum() }
+
+func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	// Budget fits exactly two entries of 100 payload bytes.
+	l := newLRU(2 * (100 + memEntryOverhead))
+	data := make([]byte, 100)
+	if ev := l.add(lruKey(1), data); ev != 0 {
+		t.Fatalf("evicted %d on first add", ev)
+	}
+	l.add(lruKey(2), data)
+	// Touch 1 so 2 becomes the eviction candidate.
+	if _, ok := l.get(lruKey(1)); !ok {
+		t.Fatal("key 1 missing")
+	}
+	if ev := l.add(lruKey(3), data); ev != 1 {
+		t.Fatalf("evicted %d, want 1", ev)
+	}
+	if _, ok := l.get(lruKey(2)); ok {
+		t.Fatal("key 2 survived, should have been evicted")
+	}
+	if _, ok := l.get(lruKey(1)); !ok {
+		t.Fatal("key 1 evicted despite being most recently used")
+	}
+	if _, ok := l.get(lruKey(3)); !ok {
+		t.Fatal("key 3 missing after admit")
+	}
+}
+
+func TestLRURejectsOversizedEntry(t *testing.T) {
+	l := newLRU(256)
+	small := make([]byte, 16)
+	l.add(lruKey(1), small)
+	if ev := l.add(lruKey(2), make([]byte, 1024)); ev != 0 {
+		t.Fatalf("oversized add evicted %d residents", ev)
+	}
+	if _, ok := l.get(lruKey(2)); ok {
+		t.Fatal("oversized entry was admitted")
+	}
+	if _, ok := l.get(lruKey(1)); !ok {
+		t.Fatal("small resident was displaced by a rejected entry")
+	}
+}
+
+func TestLRURefreshSameKey(t *testing.T) {
+	l := newLRU(1 << 20)
+	l.add(lruKey(1), make([]byte, 100))
+	l.add(lruKey(1), make([]byte, 200))
+	if n := l.len(); n != 1 {
+		t.Fatalf("len %d after re-adding the same key", n)
+	}
+	if b := l.bytes(); b != 200+memEntryOverhead {
+		t.Fatalf("bytes %d, want %d", b, 200+memEntryOverhead)
+	}
+	data, ok := l.get(lruKey(1))
+	if !ok || len(data) != 200 {
+		t.Fatalf("refresh did not replace payload (ok=%v len=%d)", ok, len(data))
+	}
+}
+
+func TestLRURemove(t *testing.T) {
+	l := newLRU(1 << 20)
+	l.add(lruKey(1), make([]byte, 10))
+	l.remove(lruKey(1))
+	l.remove(lruKey(1)) // idempotent
+	if n := l.len(); n != 0 {
+		t.Fatalf("len %d after remove", n)
+	}
+	if b := l.bytes(); b != 0 {
+		t.Fatalf("bytes %d after remove", b)
+	}
+}
+
+func TestLRUBudgetAccounting(t *testing.T) {
+	const budget = 10 * (64 + memEntryOverhead)
+	l := newLRU(budget)
+	for i := 0; i < 100; i++ {
+		l.add(lruKey(i), make([]byte, 64))
+		if b := l.bytes(); b > budget {
+			t.Fatalf("resident bytes %d exceed budget %d after add %d", b, budget, i)
+		}
+	}
+	if n := l.len(); n != 10 {
+		t.Fatalf("len %d, want 10", n)
+	}
+}
+
+func TestLRUConcurrent(t *testing.T) {
+	l := newLRU(1 << 16)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				k := lruKey(i % 37)
+				l.add(k, []byte(fmt.Sprintf("g%d-%d", g, i)))
+				l.get(k)
+				if i%13 == 0 {
+					l.remove(k)
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+}

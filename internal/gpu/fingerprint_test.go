@@ -1,0 +1,59 @@
+package gpu
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestConfigFingerprintDeterministic(t *testing.T) {
+	a, b := BaseConfig(), BaseConfig()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical configs fingerprint differently")
+	}
+}
+
+// TestConfigFingerprintCoversEveryField walks Config by reflection:
+// perturbing any field except Name must change the fingerprint. A new
+// field added to Config without a matching Fingerprint write shows up
+// here as an "unchanged" failure.
+func TestConfigFingerprintCoversEveryField(t *testing.T) {
+	base := BaseConfig()
+	baseFP := base.Fingerprint()
+	rt := reflect.TypeOf(base)
+	for i := 0; i < rt.NumField(); i++ {
+		field := rt.Field(i)
+		c := base
+		v := reflect.ValueOf(&c).Elem().Field(i)
+		switch v.Kind() {
+		case reflect.String:
+			v.SetString(v.String() + "x")
+		case reflect.Int:
+			v.SetInt(v.Int() + 1)
+		case reflect.Float64:
+			v.SetFloat(v.Float() + 0.125)
+		default:
+			t.Fatalf("field %s: unhandled kind %s — extend the test", field.Name, v.Kind())
+		}
+		changed := c.Fingerprint() != baseFP
+		if field.Name == "Name" {
+			if changed {
+				t.Errorf("Name changed the fingerprint; it labels output and must not key the cache")
+			}
+			continue
+		}
+		if !changed {
+			t.Errorf("field %s: perturbation left fingerprint unchanged — missing from Fingerprint()", field.Name)
+		}
+	}
+}
+
+func TestConfigFingerprintOrderTagged(t *testing.T) {
+	// Two configs that swap the values of a pair of adjacent float
+	// fields must not collide: encoding order is the field order.
+	a, b := BaseConfig(), BaseConfig()
+	a.CoreClockGHz, a.MemClockGHz = 1.5, 2.5
+	b.CoreClockGHz, b.MemClockGHz = 2.5, 1.5
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("swapping adjacent field values did not change the fingerprint")
+	}
+}

@@ -93,6 +93,20 @@ func NewSimulator(cfg Config, w *trace.Workload) (*Simulator, error) {
 // Config returns the simulated configuration.
 func (s *Simulator) Config() Config { return s.cfg }
 
+// WithConfig derives a simulator for another configuration over the
+// same workload. Workload validation and shader analysis depend only
+// on the workload, so both are shared with the receiver: deriving a
+// config is O(1) where NewSimulator walks every draw. Grid sweeps
+// construct one base simulator and derive the rest — without this, a
+// warm result cache would still pay a full workload walk per config
+// just to build the thing it never asks to price.
+func (s *Simulator) WithConfig(cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Simulator{cfg: cfg, w: s.w, progs: s.progs}, nil
+}
+
 // DrawCost prices one draw call. The draw must reference resources of
 // the simulator's workload (subset draws qualify: subsets share their
 // parent's resource tables). It panics on dangling references because

@@ -282,3 +282,44 @@ func TestDetailedAgreesWithAnalyticDirection(t *testing.T) {
 			sa, ba, sd.HitRate, bd.HitRate)
 	}
 }
+
+// TestWithConfigMatchesNewSimulator: a derived simulator must price
+// every draw bit-identically to one built from scratch on the same
+// config — WithConfig only skips redundant validation and shader
+// analysis, never changes costs.
+func TestWithConfigMatchesNewSimulator(t *testing.T) {
+	base, w := newSim(t, BaseConfig())
+	cfg := BaseConfig().WithCoreClock(1.6)
+	derived, err := base.WithConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewSimulator(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if derived.Config() != cfg {
+		t.Fatalf("derived config = %+v, want %+v", derived.Config(), cfg)
+	}
+	for fi := range w.Frames {
+		for di := range w.Frames[fi].Draws {
+			d := &w.Frames[fi].Draws[di]
+			if a, b := derived.DrawNs(d), fresh.DrawNs(d); a != b {
+				t.Fatalf("frame %d draw %d: derived %v, fresh %v", fi, di, a, b)
+			}
+		}
+	}
+	// The base simulator is untouched.
+	if base.Config() != BaseConfig() {
+		t.Fatal("WithConfig mutated the receiver")
+	}
+}
+
+func TestWithConfigRejectsInvalid(t *testing.T) {
+	base, _ := newSim(t, BaseConfig())
+	bad := BaseConfig()
+	bad.NumEUs = 0
+	if _, err := base.WithConfig(bad); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

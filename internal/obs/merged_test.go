@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMergedChildReused asserts MergedChild with the same name returns
+// the one aggregate span however many times it is asked for, and that
+// the manifest shows a single stage for it.
+func TestMergedChildReused(t *testing.T) {
+	run := NewRun("test")
+	ctx := run.Context(context.Background())
+	_, parent := StartSpan(ctx, "stage")
+
+	a := parent.MergedChild("cache.lookup")
+	b := parent.MergedChild("cache.lookup")
+	if a != b {
+		t.Fatal("MergedChild returned distinct spans for the same name")
+	}
+	other := parent.MergedChild("other")
+	if other == a {
+		t.Fatal("MergedChild conflated different names")
+	}
+	// A regular child with the same name must stay separate: merged
+	// lookup only matches merged spans.
+	plain := parent.Child("cache.lookup")
+	plain.End()
+	if parent.MergedChild("cache.lookup") != a {
+		t.Fatal("regular child shadowed the merged span")
+	}
+	parent.End()
+
+	count := 0
+	run.Root().Walk(func(d int, sp *Span) {
+		if d == 2 && sp.Name() == "cache.lookup" {
+			count++
+		}
+	})
+	if count != 2 { // one merged + one regular, never more
+		t.Fatalf("found %d cache.lookup spans under the stage, want 2", count)
+	}
+}
+
+// TestMergedChildAccumulates: AddDuration sums across operations and
+// End is a no-op, so late operations keep landing in the same stage.
+func TestMergedChildAccumulates(t *testing.T) {
+	run := NewRun("test")
+	_, parent := StartSpan(run.Context(context.Background()), "stage")
+	m := parent.MergedChild("cache.lookup")
+
+	m.AddDuration(3 * time.Millisecond)
+	m.AddItems(1)
+	m.End() // must not freeze the accumulator
+	m.AddDuration(4 * time.Millisecond)
+	m.AddItems(1)
+
+	if got, want := m.DurationNs(), int64(7*time.Millisecond); got != want {
+		t.Fatalf("accumulated %d ns, want %d", got, want)
+	}
+	if m.Items() != 2 {
+		t.Fatalf("items %d, want 2", m.Items())
+	}
+
+	// AddDuration on a regular span is ignored: its duration is the
+	// open/close interval, not caller-supplied.
+	_, plain := StartSpan(run.Context(context.Background()), "plain")
+	plain.AddDuration(time.Hour)
+	plain.End()
+	if plain.DurationNs() >= int64(time.Hour) {
+		t.Fatal("AddDuration leaked into a regular span's duration")
+	}
+}
+
+// TestMergedChildConcurrent hammers one merged span from many
+// goroutines the way parallel cache lookups do.
+func TestMergedChildConcurrent(t *testing.T) {
+	run := NewRun("test")
+	_, parent := StartSpan(run.Context(context.Background()), "stage")
+
+	const workers, ops = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				m := parent.MergedChild("cache.lookup")
+				m.AddDuration(time.Microsecond)
+				m.AddItems(1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	m := parent.MergedChild("cache.lookup")
+	if got, want := m.DurationNs(), int64(workers*ops*int(time.Microsecond)); got != want {
+		t.Fatalf("accumulated %d ns, want %d", got, want)
+	}
+	if got := m.Items(); got != workers*ops {
+		t.Fatalf("items %d, want %d", got, workers*ops)
+	}
+}
+
+func TestMergedChildNilSafe(t *testing.T) {
+	var s *Span
+	m := s.MergedChild("x")
+	if m != nil {
+		t.Fatal("nil parent produced a non-nil merged child")
+	}
+	m.AddDuration(time.Second) // must not panic
+	m.End()
+	if m.DurationNs() != 0 {
+		t.Fatal("nil span reported a duration")
+	}
+}

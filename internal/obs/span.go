@@ -26,6 +26,11 @@ type Span struct {
 	busyNs  atomic.Int64 // summed worker busy time across pool runs
 	capNs   atomic.Int64 // summed workers x wall capacity across pool runs
 
+	// merged spans accumulate duration across many short operations
+	// (see MergedChild) instead of timing one open/close interval.
+	merged bool
+	accNs  atomic.Int64
+
 	mu       sync.Mutex
 	children []*Span
 }
@@ -47,11 +52,45 @@ func (s *Span) Child(name string) *Span {
 	return c
 }
 
+// MergedChild returns the merged child span with the given name,
+// creating it on first use and reusing it on every later call. Unlike
+// Child — one span per stage execution — a merged child aggregates
+// many short operations under one manifest stage: callers AddDuration
+// and AddItems per operation, and the manifest reports the summed
+// duration and operation count. This is how per-lookup cache timing
+// lands in the stage tree without a span per lookup. Nil-safe.
+func (s *Span) MergedChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.children {
+		if c.merged && c.name == name {
+			return c
+		}
+	}
+	c := newSpan(s.run, name)
+	c.merged = true
+	s.children = append(s.children, c)
+	return c
+}
+
+// AddDuration accumulates elapsed time into a merged span. On a
+// regular (non-merged) span it is ignored — duration there is fixed by
+// End. Nil-safe.
+func (s *Span) AddDuration(d time.Duration) {
+	if s == nil || !s.merged {
+		return
+	}
+	s.accNs.Add(d.Nanoseconds())
+}
+
 // End closes the span, fixing its duration. The first End wins;
 // closing an already-closed span is a no-op, so `defer sp.End()` is
 // always safe. A debug log line records the stage outcome.
 func (s *Span) End() {
-	if s == nil {
+	if s == nil || s.merged {
 		return
 	}
 	d := time.Since(s.start).Nanoseconds()
@@ -81,6 +120,9 @@ func (s *Span) End() {
 func (s *Span) DurationNs() int64 {
 	if s == nil {
 		return 0
+	}
+	if s.merged {
+		return s.accNs.Load()
 	}
 	if d := s.durNs.Load(); d != 0 {
 		return d

@@ -21,11 +21,18 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/cache"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/shader"
 	"repro/internal/trace"
 )
+
+// VectorVersion versions the shader-vector computation (the work
+// weighting and normalization in VectorOfFrames). The result cache
+// mixes it into every cached interval vector's key; bump it with any
+// change that can move a share.
+const VectorVersion = 1
 
 // Vector is the work-weighted shader usage of a frame interval,
 // normalized to shares that sum to 1 (over pixel shaders with nonzero
@@ -247,12 +254,12 @@ func DetectContext(ctx context.Context, w *trace.Workload, o Options, workers in
 		v          Vector
 		sig        Signature
 	}
-	chars, err := parallel.MapSlice(ctx, workers, starts, func(_ context.Context, _ int, start int) (charzed, error) {
+	chars, err := parallel.MapSlice(ctx, workers, starts, func(ctx context.Context, _ int, start int) (charzed, error) {
 		end := start + o.IntervalFrames
 		if end > n {
 			end = n
 		}
-		v, err := IntervalVector(w, start, end)
+		v, err := intervalVectorCached(ctx, w, start, end)
 		if err != nil {
 			return charzed{}, err
 		}
@@ -302,6 +309,28 @@ func DetectContext(ctx context.Context, w *trace.Workload, o Options, workers in
 		run.Metrics().Counter("phase.phases").Add(int64(numPhases))
 	}
 	return det, nil
+}
+
+// intervalVectorCached serves an interval's shader vector from the
+// result cache bound to ctx (cache.WithWorkload), keyed by (workload
+// fingerprint, frame range, vector version) — the interval boundaries
+// alone, because the vector depends on nothing else. Signatures are
+// derived afterwards from the vector, so one cached characterization
+// serves every phase.Options variant. Without a binding it computes
+// directly.
+func intervalVectorCached(ctx context.Context, w *trace.Workload, start, end int) (Vector, error) {
+	c, fp, ok := cache.ForWorkload(ctx)
+	if !ok {
+		return IntervalVector(w, start, end)
+	}
+	key := cache.NewKey("phase.vector", VectorVersion).
+		Bytes(fp[:]).
+		Int(int64(start)).
+		Int(int64(end)).
+		Sum()
+	return cache.GetOrCompute(ctx, c, key, func() (Vector, error) {
+		return IntervalVector(w, start, end)
+	})
 }
 
 // RepresentativeFrames returns the frame indices covered by the

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/cache"
 	"repro/internal/obs"
 	"repro/internal/phase"
 	"repro/internal/trace"
@@ -74,6 +75,14 @@ type Options struct {
 	// directly (core threads its own). Nil is a complete no-op, and
 	// spans/metrics never alter the built subset.
 	Obs *obs.Run
+
+	// Cache attaches a content-addressed result cache: phase shader
+	// vectors, per-frame feature matrices and per-frame clusterings
+	// are then served by (workload fingerprint, options, algorithm
+	// version) instead of recomputed. Nil disables caching. Caching
+	// never changes the built subset — warm and cold builds are
+	// byte-identical, an invariant the golden tests assert.
+	Cache *cache.Cache
 }
 
 // DefaultOptions returns the experiment configuration.
@@ -98,6 +107,14 @@ func BuildContext(ctx context.Context, w *trace.Workload, opt Options) (*Subset,
 	}
 	if opt.Obs != nil && obs.RunFromContext(ctx) == nil {
 		ctx = opt.Obs.Context(ctx)
+	}
+	if opt.Cache != nil {
+		if _, _, bound := cache.ForWorkload(ctx); !bound {
+			_, fsp := obs.StartSpan(ctx, "fingerprint")
+			fp := w.Fingerprint()
+			fsp.End()
+			ctx = cache.WithWorkload(ctx, opt.Cache, fp)
+		}
 	}
 	ctx, sp := obs.StartSpan(ctx, "subset-build")
 	defer sp.End()

@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/cache"
 	"repro/internal/cluster"
 	"repro/internal/dcmath"
 	"repro/internal/features"
@@ -17,6 +18,13 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/trace"
 )
+
+// ClusterVersion versions the per-frame clustering computation —
+// normalizers, PCA, the clustering algorithms and representative
+// selection. The result cache mixes it into every cached
+// ClusteredFrame's key; bump it with any change that can move an
+// assignment, medoid or weight.
+const ClusterVersion = 1
 
 // CostOracle prices a draw call in nanoseconds. *gpu.Simulator
 // satisfies it; tests substitute analytical oracles.
@@ -126,6 +134,20 @@ func (m Method) validate() error {
 	return nil
 }
 
+// keyInto mixes every field that can change a clustering into a cache
+// key builder. Each field is written unconditionally and in fixed
+// order, so two Methods key identically iff they cluster identically.
+func (m Method) keyInto(b *cache.KeyBuilder) *cache.KeyBuilder {
+	return b.Uint(uint64(m.Algo)).
+		Float(m.Threshold).
+		Int(int64(m.K)).
+		Uint(m.Seed).
+		Int(int64(m.MaxIter)).
+		String(m.Normalizer).
+		Strings(m.FeatureGroups).
+		Int(int64(m.PCAComponents))
+}
+
 func (m Method) newNormalizer() linalg.Normalizer {
 	switch m.Normalizer {
 	case "minmax":
@@ -211,21 +233,52 @@ func newClusterer(ex *features.Extractor, m Method) (*FrameClusterer, error) {
 // the result is bit-identical at any worker count.
 func (fc *FrameClusterer) ClusterFrames(ctx context.Context, frames []trace.Frame, idx []int, workers int) ([]ClusteredFrame, error) {
 	if idx == nil {
-		return parallel.Map(ctx, workers, len(frames), func(_ context.Context, i int) (ClusteredFrame, error) {
-			return fc.ClusterFrame(&frames[i], i)
+		return parallel.Map(ctx, workers, len(frames), func(ctx context.Context, i int) (ClusteredFrame, error) {
+			return fc.ClusterFrameContext(ctx, &frames[i], i)
 		})
 	}
-	return parallel.MapSlice(ctx, workers, idx, func(_ context.Context, _ int, fi int) (ClusteredFrame, error) {
+	return parallel.MapSlice(ctx, workers, idx, func(ctx context.Context, _ int, fi int) (ClusteredFrame, error) {
 		if fi < 0 || fi >= len(frames) {
 			return ClusteredFrame{}, fmt.Errorf("subset: frame index %d outside [0, %d)", fi, len(frames))
 		}
-		return fc.ClusterFrame(&frames[fi], fi)
+		return fc.ClusterFrameContext(ctx, &frames[fi], fi)
 	})
 }
 
-// ClusterFrame clusters one frame and selects representatives.
+// ClusterFrame clusters one frame and selects representatives,
+// without cache involvement. Use ClusterFrameContext on paths that
+// may run under a cache binding.
 func (fc *FrameClusterer) ClusterFrame(f *trace.Frame, frameIndex int) (ClusteredFrame, error) {
-	x := fc.ex.Frame(f)
+	return fc.clusterFrame(context.Background(), f, frameIndex)
+}
+
+// ClusterFrameContext is ClusterFrame through the result cache: when
+// ctx carries a cache binding (cache.WithWorkload), the frame's
+// ClusteredFrame is served content-addressed under (workload
+// fingerprint, frame index, method fields, cluster version), and
+// concurrent workers clustering the same frame share one computation.
+// A clustering hit skips feature extraction entirely; a clustering
+// miss still reuses a cached feature matrix when one exists, so a
+// method sweep over one workload extracts each frame's features once.
+func (fc *FrameClusterer) ClusterFrameContext(ctx context.Context, f *trace.Frame, frameIndex int) (ClusteredFrame, error) {
+	c, fp, ok := cache.ForWorkload(ctx)
+	if !ok {
+		return fc.clusterFrame(ctx, f, frameIndex)
+	}
+	key := fc.method.keyInto(cache.NewKey("subset.clusterframe", ClusterVersion).
+		Bytes(fp[:]).
+		Int(int64(frameIndex))).
+		Sum()
+	return cache.GetOrCompute(ctx, c, key, func() (ClusteredFrame, error) {
+		return fc.clusterFrame(ctx, f, frameIndex)
+	})
+}
+
+func (fc *FrameClusterer) clusterFrame(ctx context.Context, f *trace.Frame, frameIndex int) (ClusteredFrame, error) {
+	x, err := fc.ex.FrameContext(ctx, f, frameIndex)
+	if err != nil {
+		return ClusteredFrame{}, err
+	}
 	if fc.featIdx != nil {
 		x = features.Select(x, fc.featIdx)
 	}
@@ -243,7 +296,6 @@ func (fc *FrameClusterer) ClusterFrame(f *trace.Frame, frameIndex int) (Clustere
 	}
 
 	var res cluster.Result
-	var err error
 	switch fc.method.Algo {
 	case AlgoLeader:
 		res, err = cluster.Leader(x, fc.method.Threshold)

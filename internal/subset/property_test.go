@@ -1,0 +1,152 @@
+package subset
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/features"
+	"repro/internal/trace"
+)
+
+// permutedFrame returns a private copy of f with draws shuffled under
+// a fixed seed. The original (possibly shared) frame is untouched.
+func permutedFrame(f *trace.Frame, seed int64) trace.Frame {
+	draws := make([]trace.DrawCall, len(f.Draws))
+	copy(draws, f.Draws)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(draws), func(i, j int) { draws[i], draws[j] = draws[j], draws[i] })
+	return trace.Frame{Scene: f.Scene, Draws: draws}
+}
+
+// TestAgglomerativePermutationInvariant: agglomerative clustering
+// merges by pairwise distance, so the partition it finds must not
+// depend on draw submission order. The cluster count and the sorted
+// multiset of cluster sizes are the order-free view of the partition.
+func TestAgglomerativePermutationInvariant(t *testing.T) {
+	w := testGame(t)
+	m := DefaultMethod()
+	m.Algo = AlgoAgglomerative
+	fc, err := NewFrameClusterer(w, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fi := 0; fi < 4; fi++ {
+		f := &w.Frames[fi]
+		base, err := fc.ClusterFrame(f, fi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, seed := range []int64{1, 2, 3} {
+			pf := permutedFrame(f, seed)
+			got, err := fc.ClusterFrame(&pf, fi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Result.K != base.Result.K {
+				t.Errorf("frame %d seed %d: K = %d after permutation, want %d",
+					fi, seed, got.Result.K, base.Result.K)
+				continue
+			}
+			a, b := base.Result.Sizes(), got.Result.Sizes()
+			sort.Ints(a)
+			sort.Ints(b)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Errorf("frame %d seed %d: sorted cluster sizes differ at %d: %d vs %d",
+						fi, seed, i, a[i], b[i])
+					break
+				}
+			}
+		}
+	}
+}
+
+// featOracle prices a draw as an integer-valued function of its
+// feature vector alone. Draws with identical features cost identical
+// nanoseconds, and all sums/products of costs are exact in float64 —
+// which is what makes the zero-reconstruction-error property below an
+// exact equality, not a tolerance check.
+type featOracle struct {
+	ex *features.Extractor
+}
+
+func (o featOracle) DrawNs(d *trace.DrawCall) float64 {
+	var acc uint64
+	for i, x := range o.ex.Draw(d) {
+		acc = acc*1099511628211 + math.Float64bits(x) + uint64(i)
+	}
+	return float64(1 + acc%100000)
+}
+
+// TestTinyThresholdReconstructionExact: with leader clustering at a
+// near-zero threshold over raw (unnormalized) features, every cluster
+// holds only draws with identical feature vectors. A cost model that
+// reads nothing but the features then prices each member exactly like
+// its representative, so rep-cost x weight reconstruction equals the
+// true frame cost bit-for-bit.
+func TestTinyThresholdReconstructionExact(t *testing.T) {
+	w := testGame(t)
+	m := Method{Algo: AlgoLeader, Threshold: 1e-9, Normalizer: "none"}
+	fc, err := NewFrameClusterer(w, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := features.NewExtractor(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := featOracle{ex: ex}
+	for fi := 0; fi < 4; fi++ {
+		f := &w.Frames[fi]
+		cf, err := fc.ClusterFrame(f, fi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var actual float64
+		for di := range f.Draws {
+			actual += o.DrawNs(&f.Draws[di])
+		}
+		pred := cf.PredictNs(o, f)
+		if pred != actual {
+			t.Errorf("frame %d: reconstruction %v != actual %v (K=%d of %d draws)",
+				fi, pred, actual, cf.Result.K, len(f.Draws))
+		}
+	}
+}
+
+// TestUniformFrameCollapsesToOneCluster: a frame of identical draws
+// has zero feature spread, so any distance-threshold algorithm must
+// produce a single cluster whose reconstruction is exact.
+func TestUniformFrameCollapsesToOneCluster(t *testing.T) {
+	w := testGame(t)
+	src := w.Frames[0].Draws[0]
+	draws := make([]trace.DrawCall, 16)
+	for i := range draws {
+		draws[i] = src
+	}
+	f := trace.Frame{Scene: w.Frames[0].Scene, Draws: draws}
+
+	ex, err := features.NewExtractor(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := featOracle{ex: ex}
+	for _, algo := range []Algo{AlgoLeader, AlgoAgglomerative} {
+		fc, err := NewFrameClusterer(w, Method{Algo: algo, Threshold: 0.5, Normalizer: "zscore"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cf, err := fc.ClusterFrame(&f, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cf.Result.K != 1 {
+			t.Errorf("%v: identical draws clustered into K=%d", algo, cf.Result.K)
+		}
+		if pred, want := cf.PredictNs(o, &f), o.DrawNs(&src)*16; pred != want {
+			t.Errorf("%v: uniform frame reconstruction %v, want %v", algo, pred, want)
+		}
+	}
+}

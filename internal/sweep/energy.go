@@ -53,19 +53,26 @@ func RunEnergyParallel(ctx context.Context, w *trace.Workload, s *subset.Subset,
 	if len(cfgs) < 2 {
 		return EnergyResult{}, fmt.Errorf("sweep: need at least 2 configs, have %d", len(cfgs))
 	}
-	points, err := parallel.MapSlice(ctx, workers, cfgs, func(_ context.Context, i int, cfg gpu.Config) (EnergyPoint, error) {
-		sim, err := gpu.NewSimulator(cfg, w)
+	base, err := gpu.NewSimulator(cfgs[0], w)
+	if err != nil {
+		return EnergyResult{}, err
+	}
+	points, err := parallel.MapSlice(ctx, workers, cfgs, func(ctx context.Context, i int, cfg gpu.Config) (EnergyPoint, error) {
+		sim, err := base.WithConfig(cfg)
 		if err != nil {
 			return EnergyPoint{}, err
 		}
-		run, tot := sim.RunTotals()
-		pe := pm.Energy(cfg, tot)
+		priced, err := PriceParent(ctx, sim, w, cfg)
+		if err != nil {
+			return EnergyPoint{}, fmt.Errorf("sweep: config %d/%d: %w", i+1, len(cfgs), err)
+		}
+		pe := pm.Energy(cfg, priced.Totals)
 
 		tn, cn, mn, tb := s.EstimateParentTotals(sim)
 		se := pm.Energy(cfg, gpu.Totals{TotalNs: tn, ComputeNs: cn, MemoryNs: mn, TrafficBytes: tb})
 
 		return EnergyPoint{
-			Config: cfg, ParentNs: run.TotalNs, SubsetNs: tn,
+			Config: cfg, ParentNs: priced.TotalNs, SubsetNs: tn,
 			ParentEnergy: pe, SubsetEnergy: se,
 		}, nil
 	})

@@ -113,16 +113,23 @@ func RunParallel(ctx context.Context, w *trace.Workload, s *subset.Subset, cfgs 
 	sp.AddItems(int64(len(cfgs)))
 	sp.SetWorkers(parallel.Workers(workers))
 	obs.RunFromContext(ctx).Metrics().Counter("sweep.configs_priced").Add(int64(len(cfgs)))
+	base, err := gpu.NewSimulator(cfgs[0], w)
+	if err != nil {
+		return Result{}, err
+	}
 	points, err := parallel.MapSlice(ctx, workers, cfgs, func(ctx context.Context, i int, cfg gpu.Config) (Point, error) {
-		sim, err := gpu.NewSimulator(cfg, w)
+		sim, err := base.WithConfig(cfg)
 		if err != nil {
 			return Point{}, err
 		}
-		run, err := sim.RunContext(ctx)
+		// Parent pricing — the dominant cost — goes through the result
+		// cache when ctx carries one; the subset reconstruction is ~100x
+		// cheaper and always priced fresh.
+		priced, err := PriceParent(ctx, sim, w, cfg)
 		if err != nil {
 			return Point{}, fmt.Errorf("sweep: config %d/%d: %w", i+1, len(cfgs), err)
 		}
-		return Point{Config: cfg, ParentNs: run.TotalNs, SubsetNs: s.EstimateParentNs(sim)}, nil
+		return Point{Config: cfg, ParentNs: priced.TotalNs, SubsetNs: s.EstimateParentNs(sim)}, nil
 	})
 	if err != nil {
 		return Result{}, err
@@ -181,8 +188,15 @@ func SubsetOnlyContext(ctx context.Context, s *subset.Subset, cfgs []gpu.Config)
 // workers goroutines (<= 0 selects GOMAXPROCS); estimates land in grid
 // order.
 func SubsetOnlyParallel(ctx context.Context, s *subset.Subset, cfgs []gpu.Config, workers int) ([]float64, error) {
+	if len(cfgs) == 0 {
+		return nil, nil
+	}
+	base, err := gpu.NewSimulator(cfgs[0], s.Parent)
+	if err != nil {
+		return nil, err
+	}
 	return parallel.MapSlice(ctx, workers, cfgs, func(_ context.Context, i int, cfg gpu.Config) (float64, error) {
-		sim, err := gpu.NewSimulator(cfg, s.Parent)
+		sim, err := base.WithConfig(cfg)
 		if err != nil {
 			return 0, err
 		}

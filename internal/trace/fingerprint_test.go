@@ -1,0 +1,79 @@
+package trace_test
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/tracetest"
+)
+
+func TestFingerprintDeterministic(t *testing.T) {
+	a := tracetest.Tiny()
+	b := tracetest.Tiny()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical workloads fingerprint differently")
+	}
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Fatal("fingerprint not stable across calls")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := tracetest.Tiny().Fingerprint()
+	cases := map[string]func(*trace.Workload){
+		"name":            func(w *trace.Workload) { w.Name += "x" },
+		"scene":           func(w *trace.Workload) { w.Frames[0].Scene += "x" },
+		"vertex count":    func(w *trace.Workload) { w.Frames[0].Draws[0].VertexCount++ },
+		"instance count":  func(w *trace.Workload) { w.Frames[0].Draws[0].InstanceCount++ },
+		"coverage":        func(w *trace.Workload) { w.Frames[0].Draws[0].CoverageFrac *= 0.5 },
+		"overdraw":        func(w *trace.Workload) { w.Frames[0].Draws[0].Overdraw += 0.25 },
+		"tex locality":    func(w *trace.Workload) { w.Frames[0].Draws[0].TexLocality *= 0.5 },
+		"blend flag":      func(w *trace.Workload) { w.Frames[0].Draws[0].BlendEnable = !w.Frames[0].Draws[0].BlendEnable },
+		"depth flag":      func(w *trace.Workload) { w.Frames[0].Draws[0].DepthEnable = !w.Frames[0].Draws[0].DepthEnable },
+		"material":        func(w *trace.Workload) { w.Frames[0].Draws[0].MaterialID++ },
+		"texture size":    func(w *trace.Workload) { w.Textures[0].Width *= 2 },
+		"texture mips":    func(w *trace.Workload) { w.Textures[0].MipLevels++ },
+		"rt size":         func(w *trace.Workload) { w.RenderTargets[0].Width *= 2 },
+		"rt depth":        func(w *trace.Workload) { w.RenderTargets[0].HasDepth = !w.RenderTargets[0].HasDepth },
+		"dropped draw":    func(w *trace.Workload) { w.Frames[0].Draws = w.Frames[0].Draws[1:] },
+		"dropped frame":   func(w *trace.Workload) { w.Frames = w.Frames[1:] },
+		"swapped topo":    func(w *trace.Workload) { w.Frames[0].Draws[0].Topology ^= 1 },
+		"draw rt binding": func(w *trace.Workload) { w.Frames[0].Draws[0].RT ^= 1 },
+		"texture binding": func(w *trace.Workload) {
+			ts := w.Frames[0].Draws[0].Textures
+			ts[0], ts[1] = ts[1], ts[0]
+		},
+	}
+	for name, mutate := range cases {
+		w := tracetest.Tiny()
+		mutate(w)
+		if w.Fingerprint() == base {
+			t.Errorf("%s: mutation left fingerprint unchanged", name)
+		}
+	}
+}
+
+// TestFingerprintFrameBoundaryPrefixFree: moving a draw across a frame
+// boundary keeps the same flat draw sequence but must change the
+// fingerprint (per-frame draw counts are part of the encoding).
+func TestFingerprintFrameBoundaryPrefixFree(t *testing.T) {
+	a := tracetest.Tiny()
+	b := tracetest.Tiny()
+	if len(a.Frames) < 2 || a.Frames[0].Scene != a.Frames[1].Scene {
+		t.Fatal("fixture needs two frames with identical scenes")
+	}
+	// Move the last draw of frame 0 to the front of frame 1.
+	d := b.Frames[0].Draws[len(b.Frames[0].Draws)-1]
+	b.Frames[0].Draws = b.Frames[0].Draws[:len(b.Frames[0].Draws)-1]
+	b.Frames[1].Draws = append([]trace.DrawCall{d}, b.Frames[1].Draws...)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("draw moved across frame boundary did not change fingerprint")
+	}
+}
+
+func TestFingerprintString(t *testing.T) {
+	s := tracetest.Tiny().Fingerprint().String()
+	if len(s) != 64 {
+		t.Fatalf("hex fingerprint length %d, want 64", len(s))
+	}
+}

@@ -72,8 +72,8 @@ func FuzzStreamV2Resync(f *testing.F) {
 	}
 	valid := buf.Bytes()
 	f.Add(valid, 0, byte(0))
-	f.Add(valid, 20, byte(0xff))    // damage inside the header record
-	f.Add(valid, len(valid)/2, byte(0x01)) // damage mid-stream
+	f.Add(valid, 20, byte(0xff))             // damage inside the header record
+	f.Add(valid, len(valid)/2, byte(0x01))   // damage mid-stream
 	f.Add(valid[:len(valid)-30], 0, byte(0)) // truncated tail
 	f.Add([]byte("3DWS\x02junkjunkjunk"), 3, byte(7))
 	doubled := append(append([]byte{}, valid...), valid...) // concatenated captures

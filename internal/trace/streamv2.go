@@ -49,9 +49,9 @@ var (
 )
 
 const (
-	recHeaderLen        = 13 // sync(4) + kind(1) + len(4) + crc(4)
-	recKindHeader  byte = 1
-	recKindFrame   byte = 2
+	recHeaderLen       = 13 // sync(4) + kind(1) + len(4) + crc(4)
+	recKindHeader byte = 1
+	recKindFrame  byte = 2
 )
 
 // streamWriterV2 frames gob payloads into checksummed records.
