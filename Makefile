@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: tier1 vet lint build test cover fuzz-seeds bench bench-parallel bench-cache clean
+.PHONY: tier1 vet lint build test cover fuzz-seeds bench bench-parallel bench-cache serve-smoke bench-serve clean
 
 # tier1 is the merge gate: vet, build, race-enabled tests, and every
 # fuzz target replayed over its seed corpus (without -fuzz the seeds
 # run as ordinary tests — deterministic, no open-ended fuzzing in CI).
-tier1: vet build test fuzz-seeds
+tier1: vet build test fuzz-seeds serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -26,7 +26,7 @@ test:
 	$(GO) test -race ./...
 
 fuzz-seeds:
-	$(GO) test -run Fuzz -v ./internal/trace/ ./internal/cache/
+	$(GO) test -run Fuzz -v ./internal/trace/ ./internal/cache/ ./internal/serve/
 
 # cover enforces the result cache's coverage floor: the subsystem that
 # silently serves stale or corrupt results when wrong earns the
@@ -56,6 +56,50 @@ bench-cache:
 	$(GO) test -bench='^BenchmarkCacheSweep' -run '^$$' . | tee bench-cache.out
 	$(GO) run ./cmd/benchjson -match '^CacheSweep' -o BENCH_cache.json < bench-cache.out
 
+# serve-smoke is the service's end-to-end gate: build subsetd, start
+# it on a loopback port, upload a synthetic workload, require a cold
+# and a warm subset query to answer byte-identically, then SIGTERM it
+# and require a graceful drain (pid file gone, run manifest written).
+serve-smoke:
+	@set -e; \
+	rm -rf serve-scratch; mkdir -p serve-scratch/cache; \
+	$(GO) build -o serve-scratch/subsetd ./cmd/subsetd; \
+	$(GO) build -o serve-scratch/subsetload ./cmd/subsetload; \
+	serve-scratch/subsetd -addr 127.0.0.1:8741 -cache-dir serve-scratch/cache \
+	  -pid-file serve-scratch/subsetd.pid -manifest serve-scratch/manifest.json \
+	  >serve-scratch/subsetd.log 2>&1 & \
+	pid=$$!; \
+	trap 'kill -TERM $$pid 2>/dev/null || true' EXIT; \
+	serve-scratch/subsetload -addr http://127.0.0.1:8741 -smoke; \
+	kill -TERM $$pid; \
+	wait $$pid || { echo "FAIL: subsetd exited non-zero after SIGTERM"; exit 1; }; \
+	test ! -e serve-scratch/subsetd.pid || { echo "FAIL: pid file not removed on exit"; exit 1; }; \
+	test -s serve-scratch/manifest.json || { echo "FAIL: no run manifest written on drain"; exit 1; }; \
+	echo "serve-smoke ok"
+
+# bench-serve is the overload experiment: subsetd with deliberately
+# tight admission limits (2 executing + 2 queued), then subsetload's
+# four arms — cold, warm (result cache), coalesced (single-flight) and
+# a 16-request burst at 4x capacity. p50/p99 per arm land in
+# BENCH_serve.json; -require-shed makes shed-don't-collapse a hard
+# assertion, not just a recorded number.
+bench-serve:
+	@set -e; \
+	rm -rf serve-scratch; mkdir -p serve-scratch/cache; \
+	$(GO) build -o serve-scratch/subsetd ./cmd/subsetd; \
+	$(GO) build -o serve-scratch/subsetload ./cmd/subsetload; \
+	serve-scratch/subsetd -addr 127.0.0.1:8742 -cache-dir serve-scratch/cache \
+	  -max-concurrent 2 -queue-depth 2 -queue-wait 250ms \
+	  >serve-scratch/subsetd.log 2>&1 & \
+	pid=$$!; \
+	trap 'kill -TERM $$pid 2>/dev/null || true' EXIT; \
+	serve-scratch/subsetload -addr http://127.0.0.1:8742 -out BENCH_serve.json \
+	  -coalesce-c 4 -overload-n 16 -require-shed; \
+	kill -TERM $$pid; \
+	wait $$pid || { echo "FAIL: subsetd exited non-zero after SIGTERM"; exit 1; }; \
+	echo "bench-serve ok: BENCH_serve.json written"
+
 clean:
 	$(GO) clean ./...
 	rm -f bench.out bench-cache.out cover.out BENCH_parallel.json BENCH_cache.json
+	rm -rf serve-scratch

@@ -23,6 +23,11 @@
 //   - Concurrent workers computing the same key share one computation
 //     (single-flight): the first caller computes, the rest wait and
 //     decode the stored bytes.
+//   - A canceled request never blocks on the disk. Disk reads and
+//     writes are interruptible: cancellation returns immediately while
+//     the operation completes in the background (never torn), and
+//     Flush waits out anything abandoned — the drain hook a server
+//     calls before exiting.
 //   - Observability rides the existing internal/obs layer: hit, miss,
 //     evict and corrupt counters land in the run's metrics registry,
 //     and lookup time aggregates into one "cache.lookup" span per
@@ -77,6 +82,13 @@ type Stats struct {
 type Cache struct {
 	dir string
 	mem *lru
+
+	// ioWG tracks disk operations that were started on behalf of a
+	// request but abandoned by it (context canceled mid-read or
+	// mid-write). The operation itself always runs to completion in the
+	// background — a half-interrupted write would be indistinguishable
+	// from corruption — and Flush waits for all of them.
+	ioWG sync.WaitGroup
 
 	flightMu sync.Mutex
 	flight   map[Key]chan struct{}
@@ -182,12 +194,62 @@ func (c *Cache) lookup(ctx context.Context, key Key) ([]byte, bool) {
 	return nil, false
 }
 
+// runInterruptible runs op, normally synchronously — but if ctx is
+// canceled before op finishes, it returns ctx.Err() immediately and
+// lets op run to completion in the background (tracked by ioWG, waited
+// for by Flush). This is how a canceled request stops blocking on a
+// slow disk without ever tearing a disk operation in half.
+func (c *Cache) runInterruptible(ctx context.Context, op func()) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if ctx.Done() == nil {
+		// Uncancellable context (Background): no goroutine needed.
+		op()
+		return nil
+	}
+	done := make(chan struct{})
+	c.ioWG.Add(1)
+	go func() {
+		defer c.ioWG.Done()
+		defer close(done)
+		op()
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Flush blocks until every disk operation abandoned by a canceled
+// request has run to completion. Servers call it during graceful
+// drain so the on-disk tier is settled before the process exits; it is
+// a no-op (and nil-safe) when nothing is pending.
+func (c *Cache) Flush() {
+	if c == nil {
+		return
+	}
+	c.ioWG.Wait()
+}
+
 // diskLookup reads and validates one disk entry. A corrupt entry is
 // counted, logged and removed — the caller sees a plain miss and
 // recomputes; a version-skewed entry is left for the store path to
-// overwrite.
+// overwrite. A context canceled mid-read surfaces as a miss without
+// waiting for the disk; the caller's context check turns it into a
+// prompt return instead of a recompute.
 func (c *Cache) diskLookup(ctx context.Context, key Key) ([]byte, bool) {
-	raw, err := os.ReadFile(c.path(key))
+	var (
+		raw []byte
+		err error
+	)
+	if rerr := c.runInterruptible(ctx, func() {
+		raw, err = os.ReadFile(c.path(key))
+	}); rerr != nil {
+		return nil, false
+	}
 	if err != nil {
 		if !os.IsNotExist(err) {
 			c.errs.Add(1)
@@ -224,10 +286,16 @@ func (c *Cache) store(ctx context.Context, key Key, payload []byte) {
 	if c.dir == "" {
 		return
 	}
-	if err := c.diskStore(key, payload); err != nil {
-		c.errs.Add(1)
-		obs.RunFromContext(ctx).Logger().Warn("cache write failed", "key", key.String(), "err", err)
-	}
+	// On cancellation runInterruptible returns immediately and the
+	// write finishes in the background (Flush waits for it); the
+	// closure does its own accounting so the abandoned path still
+	// counts failures.
+	c.runInterruptible(ctx, func() {
+		if err := c.diskStore(key, payload); err != nil {
+			c.errs.Add(1)
+			obs.RunFromContext(ctx).Logger().Warn("cache write failed", "key", key.String(), "err", err)
+		}
+	})
 }
 
 // diskStore writes an entry atomically: temp file in the same
@@ -322,6 +390,14 @@ func GetOrCompute[T any](ctx context.Context, c *Cache, key Key, compute func() 
 		} else {
 			sp.AddDuration(time.Since(t0))
 			sp.AddItems(1)
+		}
+		// A canceled context must not fall through to compute: the
+		// lookup above may have been cut short mid-disk-read, and the
+		// computation would only burn cycles before its own first
+		// cancellation check.
+		if err := ctx.Err(); err != nil {
+			var zero T
+			return zero, err
 		}
 
 		leader, done := c.join(key)

@@ -1,0 +1,136 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestGetOrComputeCanceledMidLookup pins the disk tier's cancellation
+// contract: a request whose context dies while the cache is blocked on
+// a slow disk read returns promptly with the context's error — it does
+// not wait for the disk, and it does not fall through to compute. The
+// slow disk is simulated with a FIFO at the entry's path: os.ReadFile
+// blocks in open(2) until a writer appears.
+func TestGetOrComputeCanceledMidLookup(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := NewKey("test.slow", 1).String("k").Sum()
+
+	// Plant a FIFO where the entry file would live.
+	fifo := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(fifo), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := syscall.Mkfifo(fifo, 0o644); err != nil {
+		t.Skipf("mkfifo unavailable: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+
+	computed := false
+	start := time.Now()
+	_, gerr := GetOrCompute(ctx, c, key, func() (int, error) {
+		computed = true
+		return 42, nil
+	})
+	elapsed := time.Since(start)
+
+	if !errors.Is(gerr, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", gerr)
+	}
+	if computed {
+		t.Error("compute ran despite canceled context")
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("canceled lookup took %v; should return promptly", elapsed)
+	}
+
+	// Unblock the abandoned background read so Flush can settle, then
+	// prove Flush waits it out.
+	w, err := os.OpenFile(fifo, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	flushed := make(chan struct{})
+	go func() {
+		c.Flush()
+		close(flushed)
+	}()
+	select {
+	case <-flushed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Flush did not settle after the abandoned read unblocked")
+	}
+}
+
+// TestGetOrComputePreCanceled: a context canceled before the call must
+// not reach compute even on a pure memory cache.
+func TestGetOrComputePreCanceled(t *testing.T) {
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	key := NewKey("test.precanceled", 1).Sum()
+	_, gerr := GetOrCompute(ctx, c, key, func() (int, error) {
+		t.Error("compute ran on a pre-canceled context")
+		return 0, nil
+	})
+	if !errors.Is(gerr, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", gerr)
+	}
+}
+
+// TestFlushIdle: Flush on an idle (and nil) cache returns immediately.
+func TestFlushIdle(t *testing.T) {
+	c, err := New(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		c.Flush()
+		(*Cache)(nil).Flush()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Flush blocked on an idle cache")
+	}
+}
+
+// TestBackgroundContextStaysSynchronous: with an uncancellable context
+// the disk path must not spawn goroutines (the hot CLI path).
+func TestBackgroundContextStaysSynchronous(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := NewKey("test.sync", 1).Sum()
+	v, gerr := GetOrCompute(context.Background(), c, key, func() (string, error) {
+		return "value", nil
+	})
+	if gerr != nil || v != "value" {
+		t.Fatalf("GetOrCompute = %q, %v", v, gerr)
+	}
+	// The write must be visible synchronously: no Flush needed.
+	if _, serr := os.Stat(c.path(key)); serr != nil {
+		t.Errorf("disk entry not written synchronously: %v", serr)
+	}
+}

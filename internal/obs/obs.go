@@ -198,6 +198,16 @@ func SpanFromContext(ctx context.Context) *Span {
 	return s
 }
 
+// ContextWithSpan returns ctx with sp installed as the innermost span.
+// Installing a nil span detaches span recording below this point while
+// leaving the run (metrics, logger) reachable — how a long-running
+// server attaches its Run to every request without growing one span
+// subtree per request forever. Library code below sees StartSpan
+// return nil spans (no-ops) but still feeds counters and histograms.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
 // StartSpan opens a child of the context's current span and returns a
 // context carrying it. When no observer is attached the original
 // context and a nil span come back with zero allocations — the no-op

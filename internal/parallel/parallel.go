@@ -16,18 +16,55 @@
 // started task is waited for — no goroutine outlives a call — and the
 // error returned is the one from the lowest-indexed task that was
 // observed to fail, which keeps error identity stable across worker
-// counts in the common single-failure case.
+// counts in the common single-failure case. A panicking task does not
+// crash the process: the panic is recovered into a *PanicError (stack
+// captured) that takes the same lowest-index-wins path as any other
+// task failure.
 package parallel
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
 )
+
+// PanicError is a task panic converted into an error: the pool
+// contains panics instead of crashing the process, so one poisoned
+// item in a fan-out (or one hostile request in a server batch) cancels
+// the call cleanly while every sibling task unwinds through the normal
+// error path. It participates in lowest-index-wins selection like any
+// task error.
+type PanicError struct {
+	Index int    // task index that panicked (-1 when not index-addressed)
+	Value any    // the recover() value
+	Stack []byte // stack of the panicking goroutine, captured at recover
+}
+
+// Error implements error, including the captured stack so the panic
+// site is never lost even after crossing goroutine and process
+// boundaries (logs, HTTP 500 diagnostics).
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: task %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// Call runs fn, converting a panic into a *PanicError carrying the
+// given index and the panicking goroutine's stack. It is the panic
+// boundary ForEach wraps every task in; servers reuse it to contain
+// panics of request handlers executed outside a pool.
+func Call(index int, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: index, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
 
 // Workers normalizes a worker-count request: values <= 0 select
 // GOMAXPROCS (the CLI default for -workers flags), anything else is
@@ -84,7 +121,7 @@ func ForEach(ctx context.Context, workers, n int, f func(ctx context.Context, i 
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := f(ctx, i); err != nil {
+			if err := Call(i, func() error { return f(ctx, i) }); err != nil {
 				return err
 			}
 			tasks.Inc()
@@ -138,7 +175,7 @@ func ForEach(ctx context.Context, workers, n int, f func(ctx context.Context, i 
 					}
 					return
 				}
-				if err := f(wctx, i); err != nil {
+				if err := Call(i, func() error { return f(wctx, i) }); err != nil {
 					fail(i, err)
 					return
 				}

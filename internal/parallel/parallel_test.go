@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -256,5 +257,93 @@ func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
 				t.Fatalf("workers=%d: result[%d] = %v, want %v", workers, i, got[i], ref[i])
 			}
 		}
+	}
+}
+
+// TestForEachPanicBecomesError is the panic-containment contract: a
+// panicking task surfaces as a *PanicError (with the stack of the
+// panic site), never crashes the process, and wins lowest-index
+// selection like any other task failure.
+func TestForEachPanicBecomesError(t *testing.T) {
+	checkNoLeaks(t)
+	for _, workers := range []int{1, 4} {
+		err := ForEach(context.Background(), workers, 64, func(_ context.Context, i int) error {
+			if i == 3 {
+				panic(fmt.Sprintf("poisoned item %d", i))
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Index != 3 {
+			t.Errorf("workers=%d: panic index %d, want 3", workers, pe.Index)
+		}
+		if pe.Value != "poisoned item 3" {
+			t.Errorf("workers=%d: panic value %v", workers, pe.Value)
+		}
+		if !strings.Contains(string(pe.Stack), "parallel") {
+			t.Errorf("workers=%d: stack not captured: %q", workers, pe.Stack)
+		}
+		if !strings.Contains(err.Error(), "poisoned item 3") {
+			t.Errorf("workers=%d: Error() lost the panic value: %s", workers, err)
+		}
+	}
+}
+
+// TestForEachPanicCancelsCleanly checks that a panic at index k
+// behaves exactly like an error at index k: the remaining work is
+// canceled promptly, every started sibling is waited for, and no
+// goroutine outlives the call.
+func TestForEachPanicCancelsCleanly(t *testing.T) {
+	checkNoLeaks(t)
+	var started atomic.Int64
+	err := ForEach(context.Background(), 4, 100_000, func(ctx context.Context, i int) error {
+		started.Add(1)
+		if i == 7 {
+			panic("boom at 7")
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(time.Millisecond):
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if s := started.Load(); s > 1000 {
+		t.Errorf("%d tasks started after the panic; cancellation not prompt", s)
+	}
+}
+
+// TestForEachPanicLowestIndexWins: when a panic and an ordinary error
+// race, the lowest-indexed failure is reported regardless of kind.
+func TestForEachPanicLowestIndexWins(t *testing.T) {
+	checkNoLeaks(t)
+	errWant := errors.New("plain error at 2")
+	err := ForEach(context.Background(), 1, 16, func(_ context.Context, i int) error {
+		switch i {
+		case 2:
+			return errWant
+		case 5:
+			panic("panic at 5")
+		}
+		return nil
+	})
+	if !errors.Is(err, errWant) {
+		t.Errorf("err = %v, want the index-2 error", err)
+	}
+}
+
+func TestCallPassthrough(t *testing.T) {
+	if err := Call(0, func() error { return nil }); err != nil {
+		t.Errorf("Call = %v on success", err)
+	}
+	want := errors.New("plain")
+	if err := Call(0, func() error { return want }); !errors.Is(err, want) {
+		t.Errorf("Call = %v, want passthrough error", err)
 	}
 }

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// admitter is the server's admission controller: a semaphore of
+// execution slots fronted by a bounded logical queue. A request either
+// takes a slot immediately, waits in the queue for at most queueWait,
+// or is shed — so under overload, excess arrivals turn into fast 429s
+// while admitted requests keep their latency. The queue is logical
+// (a counter, not a channel): waiters block on the semaphore and the
+// counter only bounds how many may do so.
+type admitter struct {
+	sem        chan struct{}
+	queueDepth int64
+	queueWait  time.Duration
+	queued     atomic.Int64
+	run        *obs.Run
+}
+
+func newAdmitter(maxConcurrent, queueDepth int, queueWait time.Duration, run *obs.Run) *admitter {
+	return &admitter{
+		sem:        make(chan struct{}, maxConcurrent),
+		queueDepth: int64(queueDepth),
+		queueWait:  queueWait,
+		run:        run,
+	}
+}
+
+// admit blocks until the request holds an execution slot, the queue
+// policy sheds it (ErrOverloaded), or ctx dies. On success the caller
+// must call release exactly once.
+func (a *admitter) admit(ctx context.Context) (release func(), err error) {
+	m := a.run.Metrics()
+	// Fast path: free slot, no queueing.
+	select {
+	case a.sem <- struct{}{}:
+		m.Counter("serve.admitted").Inc()
+		return func() { <-a.sem }, nil
+	default:
+	}
+
+	// Queue, bounded in depth and wait.
+	if q := a.queued.Add(1); q > a.queueDepth {
+		a.queued.Add(-1)
+		m.Counter("serve.shed").Inc()
+		return nil, ErrOverloaded
+	}
+	m.Gauge("serve.queued").Set(a.queued.Load())
+	defer func() {
+		a.queued.Add(-1)
+		m.Gauge("serve.queued").Set(a.queued.Load())
+	}()
+
+	t := time.NewTimer(a.queueWait)
+	defer t.Stop()
+	start := time.Now()
+	select {
+	case a.sem <- struct{}{}:
+		m.Counter("serve.admitted").Inc()
+		m.Histogram("serve.queue_wait_ms").Observe(float64(time.Since(start).Microseconds()) / 1000)
+		return func() { <-a.sem }, nil
+	case <-t.C:
+		m.Counter("serve.shed").Inc()
+		return nil, ErrOverloaded
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}

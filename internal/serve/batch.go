@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/parallel"
+)
+
+// jobResult carries one job's outcome back to its waiting request.
+type jobResult struct {
+	v   any
+	err error
+}
+
+// job is one unit of admitted work flowing through the batcher.
+type job struct {
+	ctx context.Context
+	fn  func(context.Context) (any, error)
+	res chan jobResult // buffered(1): the batch worker never blocks on delivery
+	enq time.Time
+}
+
+// batcher coalesces admitted query computations into batches fed to
+// the deterministic parallel engine: a batch dispatches when it holds
+// size jobs or the oldest has waited maxWait. Batching bounds
+// scheduler churn under bursts — a burst of N queries becomes ⌈N/size⌉
+// well-packed parallel regions instead of N goroutine storms — while
+// maxWait keeps the idle-server latency cost to single milliseconds.
+type batcher struct {
+	ch       chan *job
+	stopCh   chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+	size     int
+	maxWait  time.Duration
+	workers  int
+	run      *obs.Run
+}
+
+func newBatcher(size int, maxWait time.Duration, workers int, run *obs.Run) *batcher {
+	return &batcher{
+		ch:      make(chan *job),
+		stopCh:  make(chan struct{}),
+		done:    make(chan struct{}),
+		size:    size,
+		maxWait: maxWait,
+		workers: workers,
+		run:     run,
+	}
+}
+
+func (b *batcher) start() {
+	go b.loop()
+}
+
+// stop ends the collector loop after the in-flight batch finishes.
+// Jobs still queued when stop wins the race get ErrDraining; the
+// server drains requests before stopping the batcher, so in practice
+// the queue is empty by then. Idempotent.
+func (b *batcher) stop() {
+	b.stopOnce.Do(func() { close(b.stopCh) })
+	<-b.done
+}
+
+// submit runs fn through the batcher and waits for its result. The
+// job's context gates both enqueueing and waiting: a canceled request
+// stops waiting immediately (the batch worker still runs or finishes
+// the job, delivering into the buffered channel nobody reads).
+func (b *batcher) submit(ctx context.Context, fn func(context.Context) (any, error)) (any, error) {
+	j := &job{ctx: ctx, fn: fn, res: make(chan jobResult, 1), enq: time.Now()}
+	select {
+	case b.ch <- j:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-b.stopCh:
+		return nil, ErrDraining
+	}
+	select {
+	case r := <-j.res:
+		return r.v, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// loop collects jobs into batches. One batch runs at a time; arrivals
+// during a run queue on b.ch and form the next batch.
+func (b *batcher) loop() {
+	defer close(b.done)
+	for {
+		var first *job
+		select {
+		case first = <-b.ch:
+		case <-b.stopCh:
+			// Fail any stragglers racing the stop signal.
+			for {
+				select {
+				case j := <-b.ch:
+					j.res <- jobResult{err: ErrDraining}
+				default:
+					return
+				}
+			}
+		}
+
+		batch := []*job{first}
+		t := time.NewTimer(b.maxWait)
+	collect:
+		for len(batch) < b.size {
+			select {
+			case j := <-b.ch:
+				batch = append(batch, j)
+			case <-t.C:
+				break collect
+			case <-b.stopCh:
+				break collect
+			}
+		}
+		t.Stop()
+		b.runBatch(batch)
+	}
+}
+
+// runBatch executes one batch on the parallel engine. Each job runs
+// under its own panic shield and always reports nil to the engine —
+// one job's failure or panic must never cancel its batch-mates. Job
+// contexts are individually honored: a job whose request died before
+// its batch ran is skipped.
+func (b *batcher) runBatch(batch []*job) {
+	m := b.run.Metrics()
+	m.Counter("serve.batches").Inc()
+	m.Histogram("serve.batch_size").Observe(float64(len(batch)))
+	for _, j := range batch {
+		m.Histogram("serve.batch_queue_ms").Observe(float64(time.Since(j.enq).Microseconds()) / 1000)
+	}
+	// The engine context is Background: batch lifecycle is decoupled
+	// from any single request, and per-job cancellation arrives via
+	// each job's own ctx inside fn.
+	parallel.ForEach(context.Background(), b.workers, len(batch), func(_ context.Context, i int) error {
+		j := batch[i]
+		if err := j.ctx.Err(); err != nil {
+			j.res <- jobResult{err: err}
+			return nil
+		}
+		var v any
+		err := parallel.Call(i, func() error {
+			var ferr error
+			v, ferr = j.fn(j.ctx)
+			return ferr
+		})
+		j.res <- jobResult{v: v, err: err}
+		return nil
+	})
+}

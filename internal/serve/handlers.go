@@ -1,0 +1,579 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/obs"
+	"repro/internal/sweep"
+	"repro/internal/trace"
+	"repro/internal/traceerr"
+)
+
+// maxSweepConfigs caps one sweep request's grid: a grid is priced
+// config-by-config inside the request's own deadline, and an unbounded
+// grid is an unbounded request.
+const maxSweepConfigs = 1024
+
+// maxReqBytes caps a JSON query body (not an upload).
+const maxReqBytes = 1 << 20
+
+func (s *Server) routes() {
+	s.handle("upload", "POST /v1/workloads", true, s.handleUpload)
+	s.handle("list", "GET /v1/workloads", false, s.handleList)
+	s.handle("get", "GET /v1/workloads/{fp}", false, s.handleGet)
+	s.handle("subset", "POST /v1/subset", true, s.handleSubset)
+	s.handle("sweep", "POST /v1/sweep", true, s.handleSweep)
+	s.handle("price", "POST /v1/price", true, s.handlePrice)
+	s.handle("stats", "GET /v1/stats", false, s.handleStats)
+	s.handle("healthz", "GET /healthz", false, s.handleHealthz)
+}
+
+// handle registers one route with the service middleware: per-route
+// latency histogram and merged span, admission control (when admit —
+// the compute-bearing routes), the per-request deadline, and the
+// span-detached observability context. Route names are threaded
+// explicitly because the request's matched pattern is not available at
+// this language level.
+func (s *Server) handle(name, pattern string, admit bool, fn http.HandlerFunc) {
+	hist := s.run.Metrics().Histogram("serve.latency_ms." + name)
+	sp := s.run.Root().MergedChild("route." + name)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		defer func() {
+			el := time.Since(start)
+			hist.Observe(float64(el.Microseconds()) / 1000)
+			sp.AddItems(1)
+			sp.AddDuration(el)
+		}()
+
+		if admit {
+			release, err := s.adm.admit(r.Context())
+			if err != nil {
+				s.writeErr(w, err)
+				return
+			}
+			defer release()
+		}
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.opt.RequestTimeout)
+		defer cancel()
+		// Attach the run but detach span recording: per-request child
+		// spans would grow the manifest's stage tree without bound over
+		// a server's lifetime. Metrics and the logger still flow.
+		if s.run != nil {
+			ctx = obs.ContextWithSpan(s.run.Context(ctx), nil)
+		}
+		fn(w, r.WithContext(ctx))
+	})
+}
+
+// UploadResponse reports what ingestion made of an upload.
+type UploadResponse struct {
+	Name              string `json:"name"`
+	Fingerprint       string `json:"fingerprint"`
+	Frames            int    `json:"frames"`
+	Draws             int    `json:"draws"`
+	Format            string `json:"format"` // "stream", "gob" or "json"
+	AlreadyRegistered bool   `json:"already_registered"`
+	// Degraded is true when lenient ingestion repaired damage;
+	// Diagnostics accounts for exactly what was dropped.
+	Degraded    bool                 `json:"degraded"`
+	Diagnostics traceerr.Diagnostics `json:"diagnostics"`
+}
+
+// handleUpload ingests a workload in any of the three encodings,
+// sniffed from the first bytes: stream-v2 container ("3DWS" magic),
+// JSON ('{'), or binary gob. Lenient by default — damaged uploads are
+// repaired with the damage accounted in the response — strict when the
+// server was configured Strict.
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.opt.MaxBodyBytes)
+	defer body.Close()
+	br := bufio.NewReader(body)
+
+	head, err := br.Peek(len(trace.StreamMagic))
+	if err != nil && len(head) == 0 {
+		s.writeErr(w, fmt.Errorf("empty upload: %w", traceerr.ErrTruncated))
+		return
+	}
+
+	var (
+		wl     *trace.Workload
+		diag   traceerr.Diagnostics
+		format string
+	)
+	switch {
+	case bytes.HasPrefix(head, []byte(trace.StreamMagic)) || bytes.HasPrefix([]byte(trace.StreamMagic), head):
+		format = "stream"
+		wl, diag, err = readStream(br, s.opt.Strict)
+	case head[0] == '{':
+		format = "json"
+		if s.opt.Strict {
+			wl, err = trace.DecodeJSONLimited(br, s.opt.MaxBodyBytes)
+		} else {
+			wl, diag, err = trace.DecodeJSONLenient(br, s.opt.MaxBodyBytes)
+		}
+	default:
+		format = "gob"
+		if s.opt.Strict {
+			wl, err = trace.DecodeLimited(br, s.opt.MaxBodyBytes)
+		} else {
+			wl, diag, err = trace.DecodeLenient(br, s.opt.MaxBodyBytes)
+		}
+	}
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+
+	e := &workloadEntry{
+		W:       wl,
+		FP:      wl.Fingerprint(),
+		Summary: trace.Summarize(wl),
+		Diag:    diag,
+		Format:  format,
+	}
+	created, err := s.reg.register(e)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	s.run.RecordDiagnostics(diag.Map())
+	if diag.Any() {
+		s.run.Logger().Warn("upload degraded", "workload", wl.Name, "diag", diag.String())
+	}
+	s.run.Logger().Info("workload registered", "workload", wl.Name,
+		"fingerprint", e.FP.String(), "frames", e.Summary.Frames, "created", created)
+
+	status := http.StatusOK
+	if created {
+		status = http.StatusCreated
+	}
+	s.writeJSON(w, status, UploadResponse{
+		Name:              wl.Name,
+		Fingerprint:       e.FP.String(),
+		Frames:            e.Summary.Frames,
+		Draws:             e.Summary.Draws,
+		Format:            format,
+		AlreadyRegistered: !created,
+		Degraded:          diag.Any(),
+		Diagnostics:       diag,
+	})
+}
+
+// readStream assembles a workload from a stream-v2 (or legacy v1)
+// container. A stream that yields no usable frames is rejected as
+// invalid rather than registered empty.
+func readStream(in io.Reader, strict bool) (*trace.Workload, traceerr.Diagnostics, error) {
+	sr, err := trace.NewStreamReader(in, trace.ReaderOptions{Lenient: !strict})
+	if err != nil {
+		return nil, traceerr.Diagnostics{}, err
+	}
+	var frames []trace.Frame
+	for {
+		f, err := sr.NextFrame()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, sr.Diagnostics(), err
+		}
+		frames = append(frames, f)
+	}
+	diag := sr.Diagnostics()
+	if len(frames) == 0 {
+		return nil, diag, fmt.Errorf("stream yields no usable frames: %w", traceerr.ErrInvalidFrame)
+	}
+	wl := *sr.Shell()
+	wl.Frames = frames
+	return &wl, diag, nil
+}
+
+// WorkloadInfo is one registry listing entry.
+type WorkloadInfo struct {
+	Name        string               `json:"name"`
+	Fingerprint string               `json:"fingerprint"`
+	Frames      int                  `json:"frames"`
+	Draws       int                  `json:"draws"`
+	Format      string               `json:"format"`
+	Degraded    bool                 `json:"degraded"`
+	Diagnostics traceerr.Diagnostics `json:"diagnostics"`
+}
+
+func infoOf(e *workloadEntry) WorkloadInfo {
+	return WorkloadInfo{
+		Name:        e.W.Name,
+		Fingerprint: e.FP.String(),
+		Frames:      e.Summary.Frames,
+		Draws:       e.Summary.Draws,
+		Format:      e.Format,
+		Degraded:    e.Diag.Any(),
+		Diagnostics: e.Diag,
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	entries := s.reg.list()
+	out := make([]WorkloadInfo, len(entries))
+	for i, e := range entries {
+		out[i] = infoOf(e)
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"workloads": out})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	e, err := s.reg.get(r.PathValue("fp"))
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"info":    infoOf(e),
+		"summary": e.Summary,
+	})
+}
+
+// SubsetRequest asks for a representative subset of a registered
+// workload.
+type SubsetRequest struct {
+	// Workload is the hex fingerprint returned by upload.
+	Workload string `json:"workload"`
+
+	// ClusteringEval enables the per-frame clustering quality
+	// evaluation (prices every draw — the expensive part).
+	ClusteringEval bool `json:"clustering_eval"`
+
+	// Validate enables the frequency-scaling validation sweep.
+	Validate bool `json:"validate"`
+}
+
+// SubsetResponse is the query result; it is also the unit the result
+// cache stores, so a warm query skips the pipeline entirely.
+type SubsetResponse struct {
+	Workload      string  `json:"workload"`
+	SubsetFrames  []int   `json:"subset_frames"`
+	SubsetDraws   int     `json:"subset_draws"`
+	SizeRatio     float64 `json:"size_ratio"`
+	NumPhases     int     `json:"num_phases"`
+	PhaseTimeline string  `json:"phase_timeline"`
+
+	// Clustering quality (present when ClusteringEval was set).
+	MeanError      float64 `json:"mean_error,omitempty"`
+	MeanEfficiency float64 `json:"mean_efficiency,omitempty"`
+
+	// Validation statistics (present when Validate was set).
+	Correlation     float64 `json:"correlation,omitempty"`
+	RankCorrelation float64 `json:"rank_correlation,omitempty"`
+
+	Diagnostics traceerr.Diagnostics `json:"diagnostics"`
+}
+
+func (s *Server) handleSubset(w http.ResponseWriter, r *http.Request) {
+	var req SubsetRequest
+	if err := s.decodeReq(r, &req); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	e, err := s.reg.get(req.Workload)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	key := cache.NewKey("serve.subset", 1).
+		Bytes(e.FP[:]).
+		Bool(req.ClusteringEval).
+		Bool(req.Validate).
+		Sum()
+	s.runQuery(w, r, "subset:"+key.String(), func(ctx context.Context) (any, error) {
+		return cachedQuery(ctx, s, e, key, func(ctx context.Context) (SubsetResponse, error) {
+			return s.computeSubset(ctx, e, req)
+		})
+	})
+}
+
+func (s *Server) computeSubset(ctx context.Context, e *workloadEntry, req SubsetRequest) (SubsetResponse, error) {
+	opt := core.DefaultOptions()
+	opt.SkipClusteringEval = !req.ClusteringEval
+	if !req.Validate {
+		opt.ValidationClocks = nil
+	}
+	opt.Workers = s.opt.Workers
+	opt.Cache = s.opt.Cache
+	sub, err := core.New(opt)
+	if err != nil {
+		return SubsetResponse{}, err
+	}
+	rep, err := sub.RunContext(ctx, e.W)
+	if err != nil {
+		return SubsetResponse{}, err
+	}
+	frames := make([]int, len(rep.Subset.Frames))
+	for i := range rep.Subset.Frames {
+		frames[i] = rep.Subset.Frames[i].ParentFrame
+	}
+	resp := SubsetResponse{
+		Workload:      e.FP.String(),
+		SubsetFrames:  frames,
+		SubsetDraws:   rep.Subset.NumDraws(),
+		SizeRatio:     rep.SizeRatio,
+		NumPhases:     rep.Detection.NumPhases,
+		PhaseTimeline: rep.PhaseTimeline(),
+		Diagnostics:   rep.Diagnostics,
+	}
+	if rep.Clustering != nil {
+		resp.MeanError = rep.Clustering.MeanError
+		resp.MeanEfficiency = rep.Clustering.MeanEfficiency
+	}
+	if rep.Validated {
+		resp.Correlation = rep.Validation.Correlation
+		resp.RankCorrelation = rep.Validation.RankCorrelation
+	}
+	return resp, nil
+}
+
+// SweepRequest prices a registered workload across a clock grid.
+type SweepRequest struct {
+	Workload   string    `json:"workload"`
+	CoreClocks []float64 `json:"core_clocks"` // default sweep.DefaultCoreClocks()
+	MemClocks  []float64 `json:"mem_clocks"`  // default {1.0}
+}
+
+// SweepPoint is one grid configuration's pricing.
+type SweepPoint struct {
+	CoreClockGHz float64 `json:"core_clock_ghz"`
+	MemClockGHz  float64 `json:"mem_clock_ghz"`
+	TotalNs      float64 `json:"total_ns"`
+	// Speedup is relative to the grid's first configuration.
+	Speedup float64 `json:"speedup"`
+}
+
+// SweepResponse is the priced grid, in grid order (core-major).
+type SweepResponse struct {
+	Workload string       `json:"workload"`
+	Points   []SweepPoint `json:"points"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := s.decodeReq(r, &req); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	if len(req.CoreClocks) == 0 {
+		req.CoreClocks = sweep.DefaultCoreClocks()
+	}
+	if len(req.MemClocks) == 0 {
+		req.MemClocks = []float64{1.0}
+	}
+	if n := len(req.CoreClocks) * len(req.MemClocks); n > maxSweepConfigs {
+		s.writeErr(w, badRequest("sweep grid has %d configs, max %d", n, maxSweepConfigs))
+		return
+	}
+	e, err := s.reg.get(req.Workload)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	kb := cache.NewKey("serve.sweep", 1).Bytes(e.FP[:]).Int(int64(len(req.CoreClocks)))
+	for _, c := range req.CoreClocks {
+		kb.Float(c)
+	}
+	for _, c := range req.MemClocks {
+		kb.Float(c)
+	}
+	key := kb.Sum()
+	s.runQuery(w, r, "sweep:"+key.String(), func(ctx context.Context) (any, error) {
+		return cachedQuery(ctx, s, e, key, func(ctx context.Context) (SweepResponse, error) {
+			return s.computeSweep(ctx, e, req)
+		})
+	})
+}
+
+func (s *Server) computeSweep(ctx context.Context, e *workloadEntry, req SweepRequest) (SweepResponse, error) {
+	cfgs := sweep.Grid(gpu.BaseConfig(), req.CoreClocks, req.MemClocks)
+	resp := SweepResponse{Workload: e.FP.String(), Points: make([]SweepPoint, len(cfgs))}
+	for i, cfg := range cfgs {
+		if err := ctx.Err(); err != nil {
+			return SweepResponse{}, fmt.Errorf("sweep canceled at config %d/%d: %w", i, len(cfgs), err)
+		}
+		sim, err := gpu.NewSimulator(cfg, e.W)
+		if err != nil {
+			return SweepResponse{}, err
+		}
+		priced, err := sweep.PriceParent(ctx, sim, e.W, cfg)
+		if err != nil {
+			return SweepResponse{}, err
+		}
+		resp.Points[i] = SweepPoint{
+			CoreClockGHz: cfg.CoreClockGHz,
+			MemClockGHz:  cfg.MemClockGHz,
+			TotalNs:      priced.TotalNs,
+		}
+	}
+	for i := range resp.Points {
+		if resp.Points[i].TotalNs > 0 {
+			resp.Points[i].Speedup = resp.Points[0].TotalNs / resp.Points[i].TotalNs
+		}
+	}
+	return resp, nil
+}
+
+// PriceRequest prices a registered workload on one configuration.
+type PriceRequest struct {
+	Workload     string  `json:"workload"`
+	CoreClockGHz float64 `json:"core_clock_ghz"` // default 1.0
+	MemClockGHz  float64 `json:"mem_clock_ghz"`  // default 1.0
+}
+
+// PriceResponse is one configuration's pricing.
+type PriceResponse struct {
+	Workload     string  `json:"workload"`
+	CoreClockGHz float64 `json:"core_clock_ghz"`
+	MemClockGHz  float64 `json:"mem_clock_ghz"`
+	TotalNs      float64 `json:"total_ns"`
+	FPS          float64 `json:"fps"`
+}
+
+func (s *Server) handlePrice(w http.ResponseWriter, r *http.Request) {
+	var req PriceRequest
+	if err := s.decodeReq(r, &req); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	if req.CoreClockGHz == 0 {
+		req.CoreClockGHz = 1.0
+	}
+	if req.MemClockGHz == 0 {
+		req.MemClockGHz = 1.0
+	}
+	e, err := s.reg.get(req.Workload)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	key := cache.NewKey("serve.price", 1).
+		Bytes(e.FP[:]).
+		Float(req.CoreClockGHz).
+		Float(req.MemClockGHz).
+		Sum()
+	s.runQuery(w, r, "price:"+key.String(), func(ctx context.Context) (any, error) {
+		return cachedQuery(ctx, s, e, key, func(ctx context.Context) (PriceResponse, error) {
+			cfg := gpu.BaseConfig().WithCoreClock(req.CoreClockGHz).WithMemClock(req.MemClockGHz)
+			sim, err := gpu.NewSimulator(cfg, e.W)
+			if err != nil {
+				return PriceResponse{}, err
+			}
+			priced, err := sweep.PriceParent(ctx, sim, e.W, cfg)
+			if err != nil {
+				return PriceResponse{}, err
+			}
+			fps := 0.0
+			if priced.TotalNs > 0 {
+				fps = float64(len(priced.FrameNs)) / (priced.TotalNs * 1e-9)
+			}
+			return PriceResponse{
+				Workload:     e.FP.String(),
+				CoreClockGHz: req.CoreClockGHz,
+				MemClockGHz:  req.MemClockGHz,
+				TotalNs:      priced.TotalNs,
+				FPS:          fps,
+			}, nil
+		})
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	m := s.run.Metrics()
+	stats := map[string]any{
+		"uptime_s":  time.Since(s.start).Seconds(),
+		"workloads": s.reg.len(),
+		"draining":  s.Draining(),
+		"requests":  m.Counter("serve.requests").Value(),
+		"admitted":  m.Counter("serve.admitted").Value(),
+		"shed":      m.Counter("serve.shed").Value(),
+		"coalesced": m.Counter("serve.coalesced").Value(),
+		"batches":   m.Counter("serve.batches").Value(),
+		"panics":    m.Counter("serve.panics").Value(),
+	}
+	if s.opt.Cache != nil {
+		stats["cache"] = s.opt.Cache.Stats()
+	}
+	s.writeJSON(w, http.StatusOK, stats)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		s.writeErr(w, ErrDraining)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// runQuery is the execution path every compute query rides:
+// single-flight coalescing over the response bytes, then the admission
+// batcher, then (inside fn) the result cache. Followers of a coalesced
+// computation get the leader's bytes with X-Subsetd-Coalesced set.
+func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, flightKey string, fn func(ctx context.Context) (any, error)) {
+	data, shared, err := s.flight.do(r.Context(), flightKey, func() ([]byte, error) {
+		v, err := s.bat.submit(r.Context(), fn)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(v)
+	})
+	if shared {
+		s.run.Metrics().Counter("serve.coalesced").Inc()
+		w.Header().Set("X-Subsetd-Coalesced", "true")
+	}
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+// cachedQuery serves one query response through the content-addressed
+// cache, bound to the workload so pipeline stages underneath share the
+// binding. With no cache configured it computes directly.
+func cachedQuery[T any](ctx context.Context, s *Server, e *workloadEntry, key cache.Key, compute func(context.Context) (T, error)) (T, error) {
+	if s.opt.Cache == nil {
+		return compute(ctx)
+	}
+	ctx = cache.WithWorkload(ctx, s.opt.Cache, e.FP)
+	return cache.GetOrCompute(ctx, s.opt.Cache, key, func() (T, error) {
+		return compute(ctx)
+	})
+}
+
+// decodeReq parses a JSON query body strictly: unknown fields are
+// rejected so typos fail loudly instead of silently defaulting.
+func (s *Server) decodeReq(r *http.Request, dst any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxReqBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return badRequest("decoding request body: %v", err)
+	}
+	return nil
+}
+
+// writeJSON answers v as JSON with the given status.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"repro/internal/parallel"
+	"repro/internal/traceerr"
+)
+
+// TestClassifyTable pins the error→status contract: one row per
+// failure class the service can answer, including every sentinel in
+// the traceerr taxonomy. Changing a mapping is an API break and must
+// show up here.
+func TestClassifyTable(t *testing.T) {
+	cases := []struct {
+		name       string
+		err        error
+		wantStatus int
+		wantClass  string
+	}{
+		{"overloaded", ErrOverloaded, http.StatusTooManyRequests, "overloaded"},
+		{"draining", ErrDraining, http.StatusServiceUnavailable, "draining"},
+		{"unknown workload", ErrUnknownWorkload, http.StatusNotFound, "unknown_workload"},
+		{"registry full", ErrRegistryFull, http.StatusInsufficientStorage, "registry_full"},
+
+		{"too large", traceerr.ErrTooLarge, http.StatusRequestEntityTooLarge, "too_large"},
+		{"max bytes", &http.MaxBytesError{Limit: 1}, http.StatusRequestEntityTooLarge, "too_large"},
+		{"version mismatch", traceerr.ErrVersionMismatch, http.StatusUnsupportedMediaType, "version_mismatch"},
+		{"truncated", traceerr.ErrTruncated, http.StatusBadRequest, "truncated"},
+		{"corrupt record", traceerr.ErrCorruptRecord, http.StatusBadRequest, "corrupt_record"},
+		{"invalid frame", traceerr.ErrInvalidFrame, http.StatusUnprocessableEntity, "invalid_frame"},
+
+		{"timeout", context.DeadlineExceeded, http.StatusGatewayTimeout, "timeout"},
+		{"canceled", context.Canceled, 499, "canceled"},
+		{"panic", &parallel.PanicError{Index: -1, Value: "boom"}, http.StatusInternalServerError, "panic"},
+		{"api error", badRequest("nope"), http.StatusBadRequest, "bad_request"},
+		{"unknown", errors.New("mystery"), http.StatusInternalServerError, "internal"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Both the bare error and a wrapped version must classify
+			// identically: handlers wrap errors with context freely.
+			for _, err := range []error{tc.err, fmt.Errorf("handling request: %w", tc.err)} {
+				status, class := classify(err)
+				if status != tc.wantStatus || class != tc.wantClass {
+					t.Errorf("classify(%v) = (%d, %q), want (%d, %q)",
+						err, status, class, tc.wantStatus, tc.wantClass)
+				}
+			}
+		})
+	}
+}
+
+// TestClassifyRecordError: taxonomy sentinels wrapped in RecordError —
+// the shape the stream readers actually produce — classify by their
+// sentinel.
+func TestClassifyRecordError(t *testing.T) {
+	re := &traceerr.RecordError{Kind: traceerr.ErrCorruptRecord, Record: 3, Frame: 1, Offset: 512}
+	status, class := classify(fmt.Errorf("trace: %w", re))
+	if status != http.StatusBadRequest || class != "corrupt_record" {
+		t.Errorf("RecordError classified as (%d, %q)", status, class)
+	}
+}

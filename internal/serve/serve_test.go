@@ -1,0 +1,752 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/trace"
+	"repro/internal/tracetest"
+)
+
+// newTestServer builds a server with tight limits suitable for tests
+// and registers its drain as cleanup.
+func newTestServer(t *testing.T, opt Options) *Server {
+	t.Helper()
+	if opt.Run == nil {
+		opt.Run = obs.NewRun("serve-test")
+	}
+	s := New(opt)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
+	return s
+}
+
+func streamBody(t *testing.T, w *trace.Workload) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.EncodeStream(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func do(h http.Handler, method, path string, body []byte) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(method, path, bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// upload registers the workload and returns its fingerprint.
+func upload(t *testing.T, h http.Handler, body []byte) string {
+	t.Helper()
+	rec := do(h, "POST", "/v1/workloads", body)
+	if rec.Code != http.StatusCreated && rec.Code != http.StatusOK {
+		t.Fatalf("upload: status %d: %s", rec.Code, rec.Body)
+	}
+	var resp UploadResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("upload response: %v", err)
+	}
+	return resp.Fingerprint
+}
+
+func TestUploadFormats(t *testing.T) {
+	wl := tracetest.Tiny()
+	var gobBuf, jsonBuf bytes.Buffer
+	if err := wl.Encode(&gobBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := wl.EncodeJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name, format string
+		body         []byte
+	}{
+		{"stream", "stream", streamBody(t, wl)},
+		{"gob", "gob", gobBuf.Bytes()},
+		{"json", "json", jsonBuf.Bytes()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := newTestServer(t, Options{})
+			h := s.Handler()
+			rec := do(h, "POST", "/v1/workloads", tc.body)
+			if rec.Code != http.StatusCreated {
+				t.Fatalf("status %d: %s", rec.Code, rec.Body)
+			}
+			var resp UploadResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatal(err)
+			}
+			if resp.Format != tc.format {
+				t.Errorf("format = %q, want %q", resp.Format, tc.format)
+			}
+			if resp.Frames != 3 || resp.Degraded {
+				t.Errorf("frames=%d degraded=%v, want 3 clean frames", resp.Frames, resp.Degraded)
+			}
+			// The fingerprint must match a local computation: the
+			// registry key is the content address.
+			if want := wl.Fingerprint().String(); resp.Fingerprint != want {
+				t.Errorf("fingerprint = %s, want %s", resp.Fingerprint, want)
+			}
+		})
+	}
+}
+
+func TestUploadIdempotent(t *testing.T) {
+	s := newTestServer(t, Options{})
+	h := s.Handler()
+	body := streamBody(t, tracetest.Tiny())
+	first := do(h, "POST", "/v1/workloads", body)
+	if first.Code != http.StatusCreated {
+		t.Fatalf("first upload: %d", first.Code)
+	}
+	second := do(h, "POST", "/v1/workloads", body)
+	if second.Code != http.StatusOK {
+		t.Fatalf("second upload: %d, want 200 (idempotent)", second.Code)
+	}
+	var resp UploadResponse
+	if err := json.Unmarshal(second.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.AlreadyRegistered {
+		t.Error("second upload not flagged already_registered")
+	}
+	if s.reg.len() != 1 {
+		t.Errorf("registry holds %d entries, want 1", s.reg.len())
+	}
+}
+
+// TestUploadDegradedStream: a stream with a corrupted record still
+// registers in lenient mode, with the damage accounted; strict mode
+// rejects it with its taxonomy class.
+func TestUploadDegradedStream(t *testing.T) {
+	body := streamBody(t, tracetest.Tiny())
+	// Flip a byte near the end — inside the last frame record, safely
+	// past the header record (which must stay parseable even in lenient
+	// mode). The lenient reader resyncs past the damaged record.
+	corrupt := append([]byte(nil), body...)
+	corrupt[len(corrupt)-20] ^= 0xFF
+
+	lenient := newTestServer(t, Options{})
+	rec := do(lenient.Handler(), "POST", "/v1/workloads", corrupt)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("lenient upload: %d: %s", rec.Code, rec.Body)
+	}
+	var resp UploadResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Degraded || !resp.Diagnostics.Any() {
+		t.Errorf("degraded=%v diag=%+v, want degradation accounted", resp.Degraded, resp.Diagnostics)
+	}
+
+	strict := newTestServer(t, Options{Strict: true})
+	rec = do(strict.Handler(), "POST", "/v1/workloads", corrupt)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("strict upload: %d, want 400", rec.Code)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Class != "corrupt_record" && eb.Class != "truncated" {
+		t.Errorf("strict class = %q, want corrupt_record or truncated", eb.Class)
+	}
+}
+
+// TestSubsetColdWarmIdentical is the service-level caching contract: a
+// warm query's response bytes are identical to the cold query's.
+func TestSubsetColdWarmIdentical(t *testing.T) {
+	c, err := cache.New(cache.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Options{Cache: c})
+	h := s.Handler()
+	fp := upload(t, h, streamBody(t, tracetest.Tiny()))
+
+	reqBody := []byte(fmt.Sprintf(`{"workload":%q,"validate":true}`, fp))
+	cold := do(h, "POST", "/v1/subset", reqBody)
+	if cold.Code != http.StatusOK {
+		t.Fatalf("cold subset: %d: %s", cold.Code, cold.Body)
+	}
+	warm := do(h, "POST", "/v1/subset", reqBody)
+	if warm.Code != http.StatusOK {
+		t.Fatalf("warm subset: %d: %s", warm.Code, warm.Body)
+	}
+	if !bytes.Equal(cold.Body.Bytes(), warm.Body.Bytes()) {
+		t.Errorf("warm response differs from cold:\ncold: %s\nwarm: %s", cold.Body, warm.Body)
+	}
+	var resp SubsetResponse
+	if err := json.Unmarshal(cold.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.SubsetFrames) == 0 || resp.SizeRatio <= 0 {
+		t.Errorf("degenerate subset response: %+v", resp)
+	}
+}
+
+func TestSweepAndPrice(t *testing.T) {
+	s := newTestServer(t, Options{})
+	h := s.Handler()
+	fp := upload(t, h, streamBody(t, tracetest.Tiny()))
+
+	rec := do(h, "POST", "/v1/sweep", []byte(fmt.Sprintf(`{"workload":%q,"core_clocks":[0.5,1.0,2.0]}`, fp)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("sweep: %d: %s", rec.Code, rec.Body)
+	}
+	var sr SweepResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Points) != 3 {
+		t.Fatalf("sweep points = %d, want 3", len(sr.Points))
+	}
+	if sr.Points[0].Speedup != 1.0 {
+		t.Errorf("first point speedup = %v, want 1.0", sr.Points[0].Speedup)
+	}
+	if sr.Points[2].TotalNs >= sr.Points[0].TotalNs {
+		t.Errorf("2.0 GHz (%v ns) not faster than 0.5 GHz (%v ns)", sr.Points[2].TotalNs, sr.Points[0].TotalNs)
+	}
+
+	rec = do(h, "POST", "/v1/price", []byte(fmt.Sprintf(`{"workload":%q}`, fp)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("price: %d: %s", rec.Code, rec.Body)
+	}
+	var pr PriceResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.TotalNs <= 0 || pr.FPS <= 0 {
+		t.Errorf("degenerate pricing: %+v", pr)
+	}
+
+	// Oversized grid is rejected before any pricing.
+	big := make([]float64, 64)
+	for i := range big {
+		big[i] = 0.1 * float64(i+1)
+	}
+	bj, _ := json.Marshal(SweepRequest{Workload: fp, CoreClocks: big, MemClocks: big})
+	rec = do(h, "POST", "/v1/sweep", bj)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("oversized grid: %d, want 400", rec.Code)
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	s := newTestServer(t, Options{})
+	h := s.Handler()
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"unknown workload", `{"workload":"0000000000000000000000000000000000000000000000000000000000000000"}`, http.StatusNotFound},
+		{"malformed fingerprint", `{"workload":"nope"}`, http.StatusNotFound},
+		{"bad json", `{"workload":`, http.StatusBadRequest},
+		{"unknown field", `{"workload":"x","typo_field":1}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := do(h, "POST", "/v1/subset", []byte(tc.body))
+			if rec.Code != tc.want {
+				t.Errorf("status = %d, want %d (%s)", rec.Code, tc.want, rec.Body)
+			}
+		})
+	}
+}
+
+func TestListAndGet(t *testing.T) {
+	s := newTestServer(t, Options{})
+	h := s.Handler()
+	fp := upload(t, h, streamBody(t, tracetest.Tiny()))
+
+	rec := do(h, "GET", "/v1/workloads", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("list: %d", rec.Code)
+	}
+	var list struct {
+		Workloads []WorkloadInfo `json:"workloads"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Workloads) != 1 || list.Workloads[0].Fingerprint != fp {
+		t.Errorf("listing = %+v, want the uploaded workload", list.Workloads)
+	}
+
+	rec = do(h, "GET", "/v1/workloads/"+fp, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("get: %d", rec.Code)
+	}
+	rec = do(h, "GET", "/v1/workloads/ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff", nil)
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("get unknown: %d, want 404", rec.Code)
+	}
+}
+
+func TestRegistryFull(t *testing.T) {
+	s := newTestServer(t, Options{MaxWorkloads: 1})
+	h := s.Handler()
+	upload(t, h, streamBody(t, tracetest.Tiny()))
+
+	other := tracetest.Tiny()
+	other.Name = "tiny-2"
+	rec := do(h, "POST", "/v1/workloads", streamBody(t, other))
+	if rec.Code != http.StatusInsufficientStorage {
+		t.Fatalf("over-cap upload: %d, want 507", rec.Code)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Class != "registry_full" {
+		t.Errorf("class = %q, want registry_full", eb.Class)
+	}
+}
+
+// TestOverloadSheds is the shed-don't-collapse experiment in unit-test
+// form: at 4x the admission limit, excess arrivals get fast 429s with
+// Retry-After, admitted requests all succeed within their normal
+// latency, nothing panics, and no goroutines leak.
+func TestOverloadSheds(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := newTestServer(t, Options{
+		MaxConcurrent: 2,
+		QueueDepth:    2,
+		QueueWait:     500 * time.Millisecond,
+	})
+	// A compute-bearing route with a fixed service time.
+	s.handle("slow", "GET /slowtest", true, func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(100 * time.Millisecond):
+			s.writeJSON(w, http.StatusOK, map[string]string{"ok": "true"})
+		case <-r.Context().Done():
+			s.writeErr(w, r.Context().Err())
+		}
+	})
+	h := s.Handler()
+
+	const n = 16 // 4x the (MaxConcurrent + QueueDepth) capacity
+	codes := make([]int, n)
+	lat := make([]time.Duration, n)
+	retryAfter := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start := time.Now()
+			rec := do(h, "GET", "/slowtest", nil)
+			lat[i] = time.Since(start)
+			codes[i] = rec.Code
+			retryAfter[i] = rec.Header().Get("Retry-After")
+		}(i)
+	}
+	wg.Wait()
+
+	var ok, shed int
+	var maxOKLat time.Duration
+	for i, c := range codes {
+		switch c {
+		case http.StatusOK:
+			ok++
+			if lat[i] > maxOKLat {
+				maxOKLat = lat[i]
+			}
+		case http.StatusTooManyRequests:
+			shed++
+			if retryAfter[i] == "" {
+				t.Error("429 without Retry-After")
+			}
+		default:
+			t.Errorf("request %d: unexpected status %d", i, c)
+		}
+	}
+	// Capacity admits at most MaxConcurrent+QueueDepth of a simultaneous
+	// burst; everything else must shed, not block.
+	if ok == 0 || ok > 4 {
+		t.Errorf("%d requests admitted, want 1..4", ok)
+	}
+	if shed < n-4 {
+		t.Errorf("%d requests shed, want >= %d", shed, n-4)
+	}
+	// Admitted requests keep bounded latency: two 100ms service slots
+	// plus queueing, far under collapse territory.
+	if maxOKLat > 5*time.Second {
+		t.Errorf("admitted p100 latency %v, want bounded", maxOKLat)
+	}
+	if got := s.run.Metrics().Counter("serve.panics").Value(); got != 0 {
+		t.Errorf("%d panics under overload", got)
+	}
+
+	// Drain now and verify goroutines settle (no leaks from shed work).
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines: %d before, %d after drain", before, runtime.NumGoroutine())
+}
+
+// TestPanicContainment: a panicking handler answers 500 to its own
+// request without leaking the panic value, and the server keeps
+// serving.
+func TestPanicContainment(t *testing.T) {
+	s := newTestServer(t, Options{})
+	s.handle("boom", "GET /boom", false, func(w http.ResponseWriter, r *http.Request) {
+		panic("secret internal state 0xdeadbeef")
+	})
+	h := s.Handler()
+
+	rec := do(h, "GET", "/boom", nil)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking route: %d, want 500", rec.Code)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Class != "panic" {
+		t.Errorf("class = %q, want panic", eb.Class)
+	}
+	if bytes.Contains(rec.Body.Bytes(), []byte("0xdeadbeef")) {
+		t.Error("panic value leaked to the client")
+	}
+	if got := s.run.Metrics().Counter("serve.panics").Value(); got != 1 {
+		t.Errorf("serve.panics = %d, want 1", got)
+	}
+
+	// The server survives: a normal request still works.
+	rec = do(h, "GET", "/healthz", nil)
+	if rec.Code != http.StatusOK {
+		t.Errorf("healthz after panic: %d", rec.Code)
+	}
+}
+
+// TestGracefulDrain: in-flight requests finish, new arrivals get 503 +
+// Retry-After, and Drain returns once the last request completes.
+func TestGracefulDrain(t *testing.T) {
+	s := New(Options{Run: obs.NewRun("serve-test")})
+	inHandler := make(chan struct{})
+	s.handle("slow", "GET /slowtest", false, func(w http.ResponseWriter, r *http.Request) {
+		close(inHandler)
+		time.Sleep(200 * time.Millisecond)
+		s.writeJSON(w, http.StatusOK, map[string]string{"ok": "true"})
+	})
+	h := s.Handler()
+
+	slowDone := make(chan int, 1)
+	go func() {
+		rec := do(h, "GET", "/slowtest", nil)
+		slowDone <- rec.Code
+	}()
+	<-inHandler
+
+	drainDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drainDone <- s.Drain(ctx)
+	}()
+
+	// Give Drain a moment to flip the draining flag, then probe.
+	deadline := time.Now().Add(time.Second)
+	for !s.Draining() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	rec := do(h, "GET", "/healthz", nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("request during drain: %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("503 during drain lacks Retry-After")
+	}
+
+	if err := <-drainDone; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	select {
+	case code := <-slowDone:
+		if code != http.StatusOK {
+			t.Errorf("in-flight request during drain: %d, want 200", code)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+}
+
+// --- admitter unit tests ---
+
+func TestAdmitterShedsBeyondQueue(t *testing.T) {
+	a := newAdmitter(1, 1, 100*time.Millisecond, nil)
+	release, err := a.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One more fits in the queue (and will time out there); a third
+	// must shed immediately.
+	queuedErr := make(chan error, 1)
+	go func() {
+		_, err := a.admit(context.Background())
+		queuedErr <- err
+	}()
+	for a.queued.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	start := time.Now()
+	if _, err := a.admit(context.Background()); err != ErrOverloaded {
+		t.Errorf("over-queue admit: %v, want ErrOverloaded", err)
+	}
+	if el := time.Since(start); el > 50*time.Millisecond {
+		t.Errorf("immediate shed took %v", el)
+	}
+	if err := <-queuedErr; err != ErrOverloaded {
+		t.Errorf("queued admit after wait: %v, want ErrOverloaded", err)
+	}
+	release()
+
+	// With the slot free again, admission succeeds on the fast path.
+	release2, err := a.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	release2()
+}
+
+func TestAdmitterHonorsContext(t *testing.T) {
+	a := newAdmitter(1, 4, time.Minute, nil)
+	release, _ := a.admit(context.Background())
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := a.admit(ctx); err != context.Canceled {
+		t.Errorf("admit on canceled ctx: %v, want context.Canceled", err)
+	}
+}
+
+// --- batcher unit tests ---
+
+func TestBatcherRunsJobs(t *testing.T) {
+	b := newBatcher(4, time.Millisecond, 2, nil)
+	b.start()
+	defer b.stop()
+
+	const n = 10
+	var wg sync.WaitGroup
+	results := make([]any, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = b.submit(context.Background(), func(context.Context) (any, error) {
+				return i * i, nil
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil || results[i] != i*i {
+			t.Errorf("job %d: (%v, %v), want (%d, nil)", i, results[i], errs[i], i*i)
+		}
+	}
+}
+
+// TestBatcherPanicIsolation: one job panicking fails only that job.
+func TestBatcherPanicIsolation(t *testing.T) {
+	b := newBatcher(4, time.Millisecond, 2, nil)
+	b.start()
+	defer b.stop()
+
+	var wg sync.WaitGroup
+	var okCount atomic.Int64
+	panicErr := make(chan error, 1)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := b.submit(context.Background(), func(context.Context) (any, error) {
+				if i == 0 {
+					panic("job zero poisoned")
+				}
+				return "ok", nil
+			})
+			if i == 0 {
+				panicErr <- err
+			} else if err == nil && v == "ok" {
+				okCount.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	err := <-panicErr
+	var pe *parallel.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("poisoned job error = %v, want *parallel.PanicError", err)
+	}
+	if okCount.Load() != 3 {
+		t.Errorf("%d sibling jobs succeeded, want 3", okCount.Load())
+	}
+}
+
+func TestBatcherCanceledJobSkipped(t *testing.T) {
+	b := newBatcher(2, time.Millisecond, 1, nil)
+	b.start()
+	defer b.stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	_, err := b.submit(ctx, func(context.Context) (any, error) {
+		ran = true
+		return nil, nil
+	})
+	if err != context.Canceled {
+		t.Errorf("submit on canceled ctx: %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Error("canceled job still ran")
+	}
+}
+
+func TestBatcherStopFailsNewSubmits(t *testing.T) {
+	b := newBatcher(2, time.Millisecond, 1, nil)
+	b.start()
+	b.stop()
+	if _, err := b.submit(context.Background(), func(context.Context) (any, error) {
+		return nil, nil
+	}); err != ErrDraining {
+		t.Errorf("submit after stop: %v, want ErrDraining", err)
+	}
+}
+
+// --- singleflight unit tests ---
+
+func TestFlightGroupCoalesces(t *testing.T) {
+	g := &flightGroup{}
+	inLeader := make(chan struct{})
+	releaseLeader := make(chan struct{})
+	var calls atomic.Int64
+
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		data, shared, err := g.do(context.Background(), "k", func() ([]byte, error) {
+			calls.Add(1)
+			close(inLeader)
+			<-releaseLeader
+			return []byte("result"), nil
+		})
+		if err != nil || shared || string(data) != "result" {
+			t.Errorf("leader: (%q, shared=%v, %v)", data, shared, err)
+		}
+	}()
+	<-inLeader
+
+	const followers = 5
+	var wg sync.WaitGroup
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			data, shared, err := g.do(context.Background(), "k", func() ([]byte, error) {
+				calls.Add(1)
+				return []byte("recomputed"), nil
+			})
+			if err != nil || !shared || string(data) != "result" {
+				t.Errorf("follower: (%q, shared=%v, %v)", data, shared, err)
+			}
+		}()
+	}
+	// Release the leader only after every follower is parked on its
+	// done channel, so all of them must ride the coalesced result.
+	g.mu.Lock()
+	call := g.m["k"]
+	g.mu.Unlock()
+	deadline := time.Now().Add(5 * time.Second)
+	for call.waiters.Load() < followers && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if call.waiters.Load() < followers {
+		t.Fatalf("only %d/%d followers parked", call.waiters.Load(), followers)
+	}
+	close(releaseLeader)
+	wg.Wait()
+	<-leaderDone
+	if calls.Load() != 1 {
+		t.Errorf("compute ran %d times, want 1", calls.Load())
+	}
+}
+
+func TestFlightGroupFollowerCancel(t *testing.T) {
+	g := &flightGroup{}
+	inLeader := make(chan struct{})
+	releaseLeader := make(chan struct{})
+	go g.do(context.Background(), "k", func() ([]byte, error) {
+		close(inLeader)
+		<-releaseLeader
+		return nil, nil
+	})
+	<-inLeader
+	defer close(releaseLeader)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	_, _, err := g.do(ctx, "k", func() ([]byte, error) { return nil, nil })
+	if err != context.Canceled {
+		t.Errorf("canceled follower: %v, want context.Canceled", err)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	s := newTestServer(t, Options{})
+	h := s.Handler()
+	rec := do(h, "GET", "/v1/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats: %d", rec.Code)
+	}
+	var stats map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"requests", "admitted", "shed", "workloads", "draining"} {
+		if _, ok := stats[k]; !ok {
+			t.Errorf("stats missing %q", k)
+		}
+	}
+}

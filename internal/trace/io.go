@@ -72,7 +72,10 @@ func (w *Workload) toWire() wire {
 	}
 }
 
-func fromWire(ww wire) (*Workload, error) {
+// restoreWire rebuilds the in-memory workload without judging its
+// content: the strict path validates afterwards, the lenient path
+// sanitizes instead.
+func restoreWire(ww wire) (*Workload, error) {
 	progs := make([]*shader.Program, len(ww.Shaders))
 	for i := range ww.Shaders {
 		progs[i] = &ww.Shaders[i]
@@ -81,17 +84,40 @@ func fromWire(ww wire) (*Workload, error) {
 	if err != nil {
 		return nil, fmt.Errorf("trace: restoring shaders: %w", err)
 	}
-	w := &Workload{
+	return &Workload{
 		Name:          ww.Name,
 		Frames:        ww.Frames,
 		Shaders:       reg,
 		Textures:      ww.Textures,
 		RenderTargets: ww.RenderTargets,
+	}, nil
+}
+
+func fromWire(ww wire) (*Workload, error) {
+	w, err := restoreWire(ww)
+	if err != nil {
+		return nil, err
 	}
 	if err := w.Validate(); err != nil {
 		return nil, fmt.Errorf("trace: decoded workload invalid: %w", err)
 	}
 	return w, nil
+}
+
+// fromWireLenient restores and then repairs: invalid draws and
+// unusable frames are dropped (accounted in the diagnostics) instead
+// of rejecting the whole workload. Structural damage — no shader
+// registry, nothing usable surviving — still fails.
+func fromWireLenient(ww wire) (*Workload, traceerr.Diagnostics, error) {
+	w, err := restoreWire(ww)
+	if err != nil {
+		return nil, traceerr.Diagnostics{}, err
+	}
+	diag, err := w.Sanitize()
+	if err != nil {
+		return nil, diag, err
+	}
+	return w, diag, nil
 }
 
 // Encode writes the workload in the library's binary (gob) format.
@@ -120,6 +146,48 @@ func DecodeLimited(in io.Reader, maxBytes int64) (*Workload, error) {
 		return nil, fmt.Errorf("trace: decoding workload: %w", capped.capErr(err, maxBytes))
 	}
 	return fromWire(ww)
+}
+
+// DecodeLenient reads a workload in binary format and repairs it
+// instead of rejecting it: invalid draws and unusable frames are
+// dropped via Sanitize, with the accounting returned — the ingestion
+// mode a server exposes to hostile uploads. maxBytes caps the input
+// (<= 0 means DefaultMaxDecodeBytes). Undecodable input (bad gob,
+// broken shader table, nothing usable surviving) still fails.
+func DecodeLenient(in io.Reader, maxBytes int64) (*Workload, traceerr.Diagnostics, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxDecodeBytes
+	}
+	capped := &cappedReader{r: in, left: maxBytes}
+	var ww wire
+	if err := gob.NewDecoder(capped).Decode(&ww); err != nil {
+		return nil, traceerr.Diagnostics{}, fmt.Errorf("trace: decoding workload: %w", lenientDecodeErr(capped, err, maxBytes))
+	}
+	return fromWireLenient(ww)
+}
+
+// DecodeJSONLenient is DecodeLenient for the JSON encoding.
+func DecodeJSONLenient(in io.Reader, maxBytes int64) (*Workload, traceerr.Diagnostics, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxDecodeBytes
+	}
+	capped := &cappedReader{r: in, left: maxBytes}
+	var ww wire
+	if err := json.NewDecoder(capped).Decode(&ww); err != nil {
+		return nil, traceerr.Diagnostics{}, fmt.Errorf("trace: JSON-decoding workload: %w", lenientDecodeErr(capped, err, maxBytes))
+	}
+	return fromWireLenient(ww)
+}
+
+// lenientDecodeErr classifies a lenient decoder's failure onto the
+// taxonomy: size-cap hits stay ErrTooLarge, inputs that ran out are
+// ErrTruncated, everything else is ErrCorruptRecord — so ingestion
+// layers map any undecodable upload to a typed rejection.
+func lenientDecodeErr(capped *cappedReader, err error, maxBytes int64) error {
+	if cerr := capped.capErr(err, maxBytes); cerr != err {
+		return cerr
+	}
+	return fmt.Errorf("%w: %v", classifyDecodeErr(err), err)
 }
 
 // EncodeJSON writes the workload as indented JSON, for inspection and

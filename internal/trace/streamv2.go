@@ -39,12 +39,17 @@ import (
 // StreamVersion is the container version written by NewStreamEncoder.
 const StreamVersion = 2
 
+// StreamMagic is the byte string that opens a stream container,
+// exported so ingestion layers can sniff the format from a peek at the
+// first bytes before committing to a reader.
+const StreamMagic = "3DWS"
+
 // DefaultMaxRecordBytes caps a single record's payload. Lengths above
 // the cap are treated as corruption rather than allocation requests.
 const DefaultMaxRecordBytes = 64 << 20
 
 var (
-	streamMagic = []byte{'3', 'D', 'W', 'S'}
+	streamMagic = []byte(StreamMagic)
 	recSync     = []byte{0xA9, 0x3D, 0x5C, 0xE2}
 )
 

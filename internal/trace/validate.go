@@ -93,7 +93,10 @@ func (w *Workload) SanitizeFrame(f *Frame) (int, error) {
 func (w *Workload) Sanitize() (traceerr.Diagnostics, error) {
 	var diag traceerr.Diagnostics
 	if w.Name == "" || w.Shaders == nil {
-		return diag, fmt.Errorf("trace: workload beyond repair: %w", w.Validate())
+		// Structurally hopeless content classifies as an invalid frame
+		// for ingestion error mapping: the bytes parsed but don't
+		// describe a usable workload.
+		return diag, fmt.Errorf("trace: workload beyond repair (%v): %w", w.Validate(), traceerr.ErrInvalidFrame)
 	}
 	kept := w.Frames[:0]
 	for fi := range w.Frames {
