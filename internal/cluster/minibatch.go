@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/dcmath"
+	"repro/internal/linalg"
+)
+
+// MiniBatchKMeans is the sampled arm of the hot path: Lloyd iterations
+// update centroids from random mini-batches (Sculley's web-scale
+// k-means) instead of full passes, so iteration cost is O(batch x k)
+// rather than O(n x k). One final full pass assigns every point to its
+// nearest centroid; empty clusters are dropped and centroids are then
+// recomputed as member means, matching the Result contract of the
+// exact algorithms. Deterministic given the rng.
+func MiniBatchKMeans(x *linalg.Matrix, k int, rng *dcmath.RNG, batch, maxIter int) (Result, error) {
+	n := x.Rows
+	if k <= 0 {
+		return Result{}, fmt.Errorf("cluster: minibatch kmeans k=%d", k)
+	}
+	if maxIter <= 0 {
+		return Result{}, fmt.Errorf("cluster: minibatch kmeans maxIter=%d", maxIter)
+	}
+	if batch <= 0 {
+		return Result{}, fmt.Errorf("cluster: minibatch kmeans batch=%d", batch)
+	}
+	if k > n {
+		k = n
+	}
+	if batch > n {
+		batch = n
+	}
+	cent := seedPlusPlus(x, k, rng)
+	perCenter := make([]float64, k) // points consumed per centroid, drives the learning rate
+	bestOf := make([]int, batch)
+	for iter := 0; iter < maxIter; iter++ {
+		// Assign the batch against the frozen centroids, then apply the
+		// per-center gradient steps.
+		for b := 0; b < batch; b++ {
+			i := rng.Intn(n)
+			bestOf[b] = i
+		}
+		for _, i := range bestOf {
+			row := x.Row(i)
+			best, bestD := 0, linalg.SqDist(row, cent.Row(0))
+			for c := 1; c < k; c++ {
+				if d := sqDistEarlyExit(row, cent.Row(c), bestD); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			perCenter[best]++
+			eta := 1 / perCenter[best]
+			cr := cent.Row(best)
+			for j, v := range row {
+				cr[j] += eta * (v - cr[j])
+			}
+		}
+	}
+	// Final full assignment against the learned centroids.
+	assign := make([]int, n)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		best, bestD := 0, linalg.SqDist(row, cent.Row(0))
+		for c := 1; c < k; c++ {
+			if d := sqDistEarlyExit(row, cent.Row(c), bestD); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		assign[i] = best
+	}
+	// Drop empty clusters (mini-batch updates can strand a centroid) and
+	// renumber densely so Result.Validate holds.
+	remap := make([]int, k)
+	for i := range remap {
+		remap[i] = -1
+	}
+	live := 0
+	for _, c := range assign {
+		if remap[c] == -1 {
+			remap[c] = live
+			live++
+		}
+	}
+	for i, c := range assign {
+		assign[i] = remap[c]
+	}
+	return Result{Assign: assign, K: live, Centroids: computeCentroids(x, assign, live)}, nil
+}

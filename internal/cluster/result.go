@@ -92,8 +92,16 @@ func (r *Result) Medoids(x *linalg.Matrix) []int {
 		best[c] = -1
 	}
 	for i, c := range r.Assign {
-		d := linalg.SqDist(x.Row(i), r.Centroids.Row(c))
-		if best[c] == -1 || d < bestD[c] {
+		if best[c] == -1 {
+			best[c] = i
+			bestD[c] = linalg.SqDist(x.Row(i), r.Centroids.Row(c))
+			continue
+		}
+		// Early exit keeps the argmin exact: an aborted partial sum is
+		// already above the incumbent, so the full distance would lose
+		// the strict < comparison too.
+		d := sqDistEarlyExit(x.Row(i), r.Centroids.Row(c), bestD[c])
+		if d < bestD[c] {
 			best[c] = i
 			bestD[c] = d
 		}
@@ -107,7 +115,13 @@ func computeCentroids(x *linalg.Matrix, assign []int, k int) *linalg.Matrix {
 	cent := linalg.NewMatrix(k, x.Cols)
 	counts := make([]float64, k)
 	for i, c := range assign {
-		linalg.Axpy(1, x.Row(i), cent.Row(c))
+		// Inlined Axpy(1, ...): this accumulation runs once per point on
+		// the clustering hot path, and the identical iteration order
+		// keeps the sums bit-equal to the call it replaces.
+		row, crow := x.Row(i), cent.Row(c)
+		for j, v := range row {
+			crow[j] += v
+		}
 		counts[c]++
 	}
 	for c := 0; c < k; c++ {

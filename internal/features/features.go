@@ -117,10 +117,33 @@ func GroupIndices(names ...string) ([]int, error) {
 // Extractor computes feature vectors for the draws of one workload.
 // Shader mixes are analyzed once per program; extraction is then O(1)
 // per draw. Safe for concurrent use after construction.
+//
+// Construction flattens every per-draw lookup into dense arrays
+// indexed by resource id — shader op counts, texture footprints,
+// render-target pixel counts and their log transforms — so the
+// per-draw inner loop is pure arithmetic with no map probes or
+// interface calls. When a workload's shader ids are pathologically
+// sparse (hostile uploads), extraction falls back to the map.
 type Extractor struct {
 	w     *trace.Workload
 	mixes map[shader.ID]shader.Mix
+
+	// Flat lookup tables, indexed by id (entry 0 unused). shaderOps is
+	// nil when ids are too sparse to flatten; opsByID is the sparse
+	// fallback, precomputed so neither path allocates per draw.
+	shaderOps   [][shader.NumOpKinds]float64
+	shaderKnown []bool
+	opsByID     map[shader.ID]*[shader.NumOpKinds]float64
+	texFoot     []float64 // float64(Texture.Footprint()), by TextureID
+	rtPixels    []float64 // float64(RenderTarget.Pixels()), by RTID
+	rtLogPixels []float64 // math.Log1p(rtPixels), by RTID
 }
+
+// flatSparsityCap bounds the flat shader table: if the largest id
+// exceeds this multiple of the program count (plus slack), ids are
+// sparse enough that a dense table would waste memory, and extraction
+// keeps the map path.
+const flatSparsityCap = 4
 
 // NewExtractor validates the workload and pre-analyzes its shaders.
 func NewExtractor(w *trace.Workload) (*Extractor, error) {
@@ -140,10 +163,45 @@ func NewShellExtractor(w *trace.Workload) (*Extractor, error) {
 		return nil, fmt.Errorf("features: workload %q has nil shader registry", w.Name)
 	}
 	mixes := make(map[shader.ID]shader.Mix, w.Shaders.Len())
+	maxID := shader.ID(0)
 	for _, p := range w.Shaders.Programs() {
 		mixes[p.ID] = p.Analyze()
+		if p.ID > maxID {
+			maxID = p.ID
+		}
 	}
-	return &Extractor{w: w, mixes: mixes}, nil
+	e := &Extractor{w: w, mixes: mixes}
+	if int64(maxID) <= int64(flatSparsityCap)*int64(len(mixes))+64 {
+		e.shaderOps = make([][shader.NumOpKinds]float64, maxID+1)
+		e.shaderKnown = make([]bool, maxID+1)
+		for id, mix := range mixes {
+			for op := 0; op < shader.NumOpKinds; op++ {
+				e.shaderOps[id][op] = float64(mix.Count(shader.Op(op)))
+			}
+			e.shaderKnown[id] = true
+		}
+	} else {
+		e.opsByID = make(map[shader.ID]*[shader.NumOpKinds]float64, len(mixes))
+		for id, mix := range mixes {
+			ops := new([shader.NumOpKinds]float64)
+			for op := 0; op < shader.NumOpKinds; op++ {
+				ops[op] = float64(mix.Count(shader.Op(op)))
+			}
+			e.opsByID[id] = ops
+		}
+	}
+	e.texFoot = make([]float64, len(w.Textures)+1)
+	for i, tex := range w.Textures {
+		e.texFoot[i+1] = float64(tex.Footprint())
+	}
+	e.rtPixels = make([]float64, len(w.RenderTargets)+1)
+	e.rtLogPixels = make([]float64, len(w.RenderTargets)+1)
+	for i, rt := range w.RenderTargets {
+		px := float64(rt.Pixels())
+		e.rtPixels[i+1] = px
+		e.rtLogPixels[i+1] = math.Log1p(px)
+	}
+	return e, nil
 }
 
 // Draw returns the MAI feature vector of one draw call. The draw must
@@ -156,40 +214,35 @@ func (e *Extractor) Draw(d *trace.DrawCall) []float64 {
 }
 
 // DrawInto writes the feature vector into dst, which must have length
-// NumFeatures. Use this form in per-frame loops to avoid allocation.
+// NumFeatures. Use this form in per-frame loops to avoid allocation —
+// the steady state is allocation-free, an invariant the allocation
+// tests pin.
 func (e *Extractor) DrawInto(d *trace.DrawCall, dst []float64) {
 	if len(dst) != numFeatures {
 		panic(fmt.Sprintf("features: DrawInto dst length %d, want %d", len(dst), numFeatures))
 	}
-	vsMix, ok := e.mixes[d.VS]
-	if !ok {
-		panic(fmt.Sprintf("features: draw references unknown VS %d", d.VS))
-	}
-	psMix, ok := e.mixes[d.PS]
-	if !ok {
-		panic(fmt.Sprintf("features: draw references unknown PS %d", d.PS))
-	}
-	rt, err := e.w.RenderTarget(d.RT)
-	if err != nil {
-		panic(fmt.Sprintf("features: %v", err))
+	vsOps := e.ops(d.VS, "VS")
+	psOps := e.ops(d.PS, "PS")
+	if d.RT == 0 || int(d.RT) >= len(e.rtPixels) {
+		panic(fmt.Sprintf("features: trace: render target id %d out of range [1, %d]", d.RT, len(e.rtPixels)-1))
 	}
 
 	dst[fGeomLogVerts] = math.Log1p(float64(d.TotalVertices()))
 	dst[fGeomLogPrims] = math.Log1p(float64(d.TotalPrimitives()))
 	dst[fGeomLogInstances] = math.Log1p(float64(d.InstanceCount))
 
-	dst[fVSALU] = float64(vsMix.Count(shader.OpALU))
-	dst[fVSSFU] = float64(vsMix.Count(shader.OpSFU))
-	dst[fVSInterp] = float64(vsMix.Count(shader.OpInterp))
-	dst[fVSMem] = float64(vsMix.Count(shader.OpMem))
-	dst[fVSCF] = float64(vsMix.Count(shader.OpCF))
+	dst[fVSALU] = vsOps[shader.OpALU]
+	dst[fVSSFU] = vsOps[shader.OpSFU]
+	dst[fVSInterp] = vsOps[shader.OpInterp]
+	dst[fVSMem] = vsOps[shader.OpMem]
+	dst[fVSCF] = vsOps[shader.OpCF]
 
-	dst[fPSALU] = float64(psMix.Count(shader.OpALU))
-	dst[fPSSFU] = float64(psMix.Count(shader.OpSFU))
-	dst[fPSTex] = float64(psMix.Count(shader.OpTex))
-	dst[fPSInterp] = float64(psMix.Count(shader.OpInterp))
-	dst[fPSMem] = float64(psMix.Count(shader.OpMem))
-	dst[fPSCF] = float64(psMix.Count(shader.OpCF))
+	dst[fPSALU] = psOps[shader.OpALU]
+	dst[fPSSFU] = psOps[shader.OpSFU]
+	dst[fPSTex] = psOps[shader.OpTex]
+	dst[fPSInterp] = psOps[shader.OpInterp]
+	dst[fPSMem] = psOps[shader.OpMem]
+	dst[fPSCF] = psOps[shader.OpCF]
 
 	var ws float64
 	texCount := 0
@@ -197,31 +250,63 @@ func (e *Extractor) DrawInto(d *trace.DrawCall, dst []float64) {
 		if tid == 0 {
 			continue
 		}
-		tex, err := e.w.Texture(tid)
-		if err != nil {
-			panic(fmt.Sprintf("features: %v", err))
+		if int(tid) >= len(e.texFoot) {
+			panic(fmt.Sprintf("features: trace: texture id %d out of range [1, %d]", tid, len(e.texFoot)-1))
 		}
-		ws += float64(tex.Footprint())
+		ws += e.texFoot[tid]
 		texCount++
 	}
 	dst[fTexCount] = float64(texCount)
 	dst[fTexLogWS] = math.Log1p(ws * d.TexLocality)
 	dst[fTexLocality] = d.TexLocality
 
-	pixels := d.CoverageFrac * float64(rt.Pixels())
+	pixels := d.CoverageFrac * e.rtPixels[d.RT]
 	dst[fRasterLogPixels] = math.Log1p(pixels * d.Overdraw)
 	dst[fRasterOverdraw] = d.Overdraw
-	dst[fRasterLogRTPixels] = math.Log1p(float64(rt.Pixels()))
+	dst[fRasterLogRTPixels] = e.rtLogPixels[d.RT]
 
 	dst[fStateBlend] = b2f(d.BlendEnable)
 	dst[fStateDepth] = b2f(d.DepthEnable)
 	dst[fStateTriList] = b2f(d.Topology == trace.TriangleList)
 }
 
+// ops resolves a shader id to its precomputed per-category op counts:
+// one bounds check plus one bool load on the dense path, one map probe
+// on the sparse fallback. A dangling reference is a corrupted subset,
+// not a runtime condition: it panics either way.
+func (e *Extractor) ops(id shader.ID, stage string) *[shader.NumOpKinds]float64 {
+	if e.shaderOps != nil {
+		if int(id) < len(e.shaderOps) && e.shaderKnown[id] {
+			return &e.shaderOps[id]
+		}
+		panic(fmt.Sprintf("features: draw references unknown %s %d", stage, id))
+	}
+	ops, ok := e.opsByID[id]
+	if !ok {
+		panic(fmt.Sprintf("features: draw references unknown %s %d", stage, id))
+	}
+	return ops
+}
+
 // Frame returns the feature matrix of a frame: one row per draw, in
-// draw order.
+// draw order, as one contiguous allocation.
 func (e *Extractor) Frame(f *trace.Frame) *linalg.Matrix {
-	m := linalg.NewMatrix(len(f.Draws), numFeatures)
+	return e.FrameInto(f, nil)
+}
+
+// FrameInto is Frame with scratch reuse: when m's backing array is
+// large enough the matrix is resized in place and no allocation
+// happens; otherwise (or when m is nil) a new matrix is allocated.
+// Either way the returned matrix is the one filled — per-frame loops
+// keep one scratch matrix alive instead of allocating per frame.
+func (e *Extractor) FrameInto(f *trace.Frame, m *linalg.Matrix) *linalg.Matrix {
+	n := len(f.Draws)
+	if m == nil || cap(m.Data) < n*numFeatures {
+		m = linalg.NewMatrix(n, numFeatures)
+	} else {
+		m.Rows, m.Cols = n, numFeatures
+		m.Data = m.Data[:n*numFeatures]
+	}
 	for i := range f.Draws {
 		e.DrawInto(&f.Draws[i], m.Row(i))
 	}

@@ -1,0 +1,51 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+	"repro/internal/tracetest"
+)
+
+// EvaluateFrameScratch with a warm scratch must only allocate what
+// escapes into the report (the ClusterErrors slice) — the pricing and
+// accumulation buffers are reused. Pinning the per-frame steady state
+// keeps corpus-scale evaluation free of per-draw churn.
+func TestEvaluateFrameScratchSteadyStateAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	w := tracetest.Tiny()
+	f := &w.Frames[0]
+	cf := handClustered()
+	var s EvalScratch
+	EvaluateFrameScratch(vertOracle{}, f, &cf, DefaultOutlierThreshold, &s) // warm
+	allocs := testing.AllocsPerRun(500, func() {
+		EvaluateFrameScratch(vertOracle{}, f, &cf, DefaultOutlierThreshold, &s)
+	})
+	// One allocation per run: FrameReport.ClusterErrors, which escapes.
+	if allocs > 1 {
+		t.Fatalf("EvaluateFrameScratch steady state allocates %.1f per frame, want <= 1", allocs)
+	}
+}
+
+// Scratch results must match the allocating path exactly.
+func TestEvaluateFrameScratchMatchesEvaluateFrame(t *testing.T) {
+	w := tracetest.Tiny()
+	f := &w.Frames[0]
+	cf := handClustered()
+	want := EvaluateFrame(vertOracle{}, f, &cf, DefaultOutlierThreshold)
+	var s EvalScratch
+	for i := 0; i < 3; i++ { // repeated reuse must not drift
+		got := EvaluateFrameScratch(vertOracle{}, f, &cf, DefaultOutlierThreshold, &s)
+		if got.ActualNs != want.ActualNs || got.PredictedNs != want.PredictedNs ||
+			got.RelError != want.RelError || got.Outliers != want.Outliers {
+			t.Fatalf("iteration %d: scratch report %+v, want %+v", i, got, want)
+		}
+		for c := range want.ClusterErrors {
+			if got.ClusterErrors[c] != want.ClusterErrors[c] {
+				t.Fatalf("iteration %d: cluster error %d differs", i, c)
+			}
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/dcmath"
 	"repro/internal/obs"
@@ -40,10 +41,41 @@ type FrameReport struct {
 	Outliers int
 }
 
+// EvalScratch holds the per-frame working buffers of EvaluateFrame so
+// a frame loop prices thousands of frames without per-frame slice
+// churn. The zero value is ready; each instance serves one goroutine
+// at a time.
+type EvalScratch struct {
+	costs, clusterActual []float64
+}
+
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
 // EvaluateFrame prices every draw once and derives all per-frame
 // quality measures from the clustering.
 func EvaluateFrame(o subset.CostOracle, f *trace.Frame, cf *subset.ClusteredFrame, outlierThresh float64) FrameReport {
-	costs := make([]float64, len(f.Draws))
+	return EvaluateFrameScratch(o, f, cf, outlierThresh, nil)
+}
+
+// EvaluateFrameScratch is EvaluateFrame with buffer reuse: working
+// slices live in s across calls. Only FrameReport.ClusterErrors is
+// freshly allocated (it escapes into the report). A nil s allocates
+// per call, matching EvaluateFrame.
+func EvaluateFrameScratch(o subset.CostOracle, f *trace.Frame, cf *subset.ClusteredFrame, outlierThresh float64, s *EvalScratch) FrameReport {
+	if s == nil {
+		s = &EvalScratch{}
+	}
+	s.costs = growFloats(s.costs, len(f.Draws))
+	costs := s.costs
 	for i := range f.Draws {
 		costs[i] = o.DrawNs(&f.Draws[i])
 	}
@@ -53,7 +85,8 @@ func EvaluateFrame(o subset.CostOracle, f *trace.Frame, cf *subset.ClusteredFram
 		Clusters:   cf.Result.K,
 		Efficiency: cf.Result.Efficiency(),
 	}
-	clusterActual := make([]float64, cf.Result.K)
+	s.clusterActual = growFloats(s.clusterActual, cf.Result.K)
+	clusterActual := s.clusterActual
 	for i, c := range cf.Result.Assign {
 		rep.ActualNs += costs[i]
 		clusterActual[c] += costs[i]
@@ -115,12 +148,16 @@ func EvaluateWorkloadContext(ctx context.Context, o subset.CostOracle, w *trace.
 	defer sp.End()
 	sp.AddItems(int64(len(w.Frames)))
 	sp.SetWorkers(parallel.Workers(workers))
+	scratch := sync.Pool{New: func() any { return &EvalScratch{} }}
 	frames, err := parallel.Map(ctx, workers, len(w.Frames), func(ctx context.Context, fi int) (FrameReport, error) {
 		cf, err := fc.ClusterFrameContext(ctx, &w.Frames[fi], fi)
 		if err != nil {
 			return FrameReport{}, fmt.Errorf("metrics: frame %d: %w", fi, err)
 		}
-		return EvaluateFrame(o, &w.Frames[fi], &cf, outlierThresh), nil
+		s := scratch.Get().(*EvalScratch)
+		rep := EvaluateFrameScratch(o, &w.Frames[fi], &cf, outlierThresh, s)
+		scratch.Put(s)
+		return rep, nil
 	})
 	if err != nil {
 		return WorkloadReport{}, err

@@ -1,0 +1,184 @@
+package subset
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cache"
+)
+
+func TestParseMode(t *testing.T) {
+	good := map[string]Mode{
+		"":          ModeExact,
+		"exact":     ModeExact,
+		"bucketed":  ModeBucketed,
+		"sampled":   ModeSampled,
+		"streaming": ModeStreaming,
+	}
+	for s, want := range good {
+		got, err := ParseMode(s)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", s, got, err, want)
+		}
+		if s != "" && got.String() != s {
+			t.Errorf("Mode(%v).String() = %q, want %q (round trip)", got, got.String(), s)
+		}
+	}
+	if _, err := ParseMode("turbo"); err == nil {
+		t.Error("ParseMode accepted unknown mode")
+	}
+}
+
+func TestModeValidation(t *testing.T) {
+	bad := map[string]Method{
+		"bucketed kmeans":     {Algo: AlgoKMeans, K: 5, MaxIter: 10, Mode: ModeBucketed},
+		"sampled leader":      {Algo: AlgoLeader, Threshold: 1, Mode: ModeSampled},
+		"sampled agglo":       {Algo: AlgoAgglomerative, Threshold: 1, Mode: ModeSampled},
+		"streaming kmeans":    {Algo: AlgoKMeans, K: 5, MaxIter: 10, Mode: ModeStreaming},
+		"streaming pca":       {Algo: AlgoLeader, Threshold: 1, Mode: ModeStreaming, PCAComponents: 3},
+		"negative batch size": {Algo: AlgoKMeans, K: 5, MaxIter: 10, Mode: ModeSampled, BatchSize: -1},
+		"unknown mode":        {Algo: AlgoLeader, Threshold: 1, Mode: Mode(99)},
+	}
+	for name, m := range bad {
+		if m.validate() == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	good := []Method{
+		{Algo: AlgoLeader, Threshold: 1, Mode: ModeBucketed},
+		{Algo: AlgoAgglomerative, Threshold: 1, Mode: ModeBucketed},
+		{Algo: AlgoKMeans, Threshold: 1, MaxIter: 10, Mode: ModeSampled},
+		{Algo: AlgoKMeans, K: 5, MaxIter: 10, Mode: ModeSampled, BatchSize: 64},
+		{Algo: AlgoLeader, Threshold: 1, Mode: ModeStreaming},
+	}
+	for _, m := range good {
+		if err := m.validate(); err != nil {
+			t.Errorf("%+v: rejected: %v", m, err)
+		}
+	}
+}
+
+// Mode and BatchSize must feed the cache key: two methods differing
+// only in hot-path strategy cluster differently and cannot share
+// cached results.
+func TestModeChangesCacheKey(t *testing.T) {
+	base := DefaultMethod()
+	variants := []Method{base, base, base}
+	variants[1].Mode = ModeBucketed
+	variants[2].Mode = ModeSampled
+	variants[2].Algo = AlgoKMeans
+	variants[2].MaxIter = 10
+	withBatch := variants[2]
+	withBatch.BatchSize = 128
+	variants = append(variants, withBatch)
+	seen := map[string]int{}
+	for i, m := range variants {
+		k := m.keyInto(cache.NewKey("test", 1)).Sum().String()
+		if j, dup := seen[k]; dup && i != 1 {
+			t.Errorf("methods %d and %d share a cache key", j, i)
+		}
+		seen[k] = i
+	}
+	if len(seen) != 4 {
+		t.Errorf("got %d distinct keys, want 4", len(seen))
+	}
+}
+
+// Every non-exact mode must produce a structurally valid clustering on
+// a real synthetic frame, with representatives and weights consistent
+// with the assignment.
+func TestClusterFrameModes(t *testing.T) {
+	w := testGame(t)
+	f := &w.Frames[0]
+	modes := []Method{
+		{Algo: AlgoLeader, Threshold: 0.5, Normalizer: "zscore", Mode: ModeBucketed},
+		{Algo: AlgoAgglomerative, Threshold: 0.5, Normalizer: "zscore", Mode: ModeBucketed},
+		{Algo: AlgoKMeans, Threshold: 0.5, MaxIter: 25, Normalizer: "zscore", Mode: ModeSampled},
+		{Algo: AlgoLeader, Threshold: 0.5, Normalizer: "zscore", Mode: ModeStreaming},
+		{Algo: AlgoLeader, Threshold: 0.5, Normalizer: "minmax", Mode: ModeStreaming},
+		{Algo: AlgoLeader, Threshold: 3.0, Normalizer: "none", Mode: ModeStreaming},
+		{Algo: AlgoLeader, Threshold: 0.5, Normalizer: "zscore", Mode: ModeStreaming,
+			FeatureGroups: []string{"vshader", "pshader"}},
+	}
+	for _, m := range modes {
+		name := m.Mode.String() + "/" + m.Algo.String() + "/" + m.Normalizer
+		fc, err := NewFrameClusterer(w, m)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		cf, err := fc.ClusterFrame(f, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := cf.Result.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(cf.RepDraws) != cf.Result.K || len(cf.Weights) != cf.Result.K {
+			t.Fatalf("%s: %d reps, %d weights for K=%d", name, len(cf.RepDraws), len(cf.Weights), cf.Result.K)
+		}
+		var total float64
+		for c, di := range cf.RepDraws {
+			if di < 0 || di >= len(f.Draws) {
+				t.Fatalf("%s: rep %d out of range", name, di)
+			}
+			if cf.Result.Assign[di] != c {
+				t.Fatalf("%s: rep of cluster %d is assigned to %d", name, c, cf.Result.Assign[di])
+			}
+			total += cf.Weights[c]
+		}
+		if total != float64(len(f.Draws)) {
+			t.Fatalf("%s: weights sum to %v, want %d", name, total, len(f.Draws))
+		}
+	}
+}
+
+// Streaming mode is deterministic and close to the exact leader
+// clustering: same draws, same order, same threshold — only the
+// bucketing-induced splits may differ.
+func TestStreamingModeDeterministicAndComparable(t *testing.T) {
+	w := testGame(t)
+	f := &w.Frames[0]
+	m := Method{Algo: AlgoLeader, Threshold: 0.5, Normalizer: "zscore", Mode: ModeStreaming}
+	fc, err := NewFrameClusterer(w, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := fc.ClusterFrame(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fc.ClusterFrame(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Result.K != b.Result.K {
+		t.Fatalf("streaming K not deterministic: %d vs %d", a.Result.K, b.Result.K)
+	}
+	for i := range a.Result.Assign {
+		if a.Result.Assign[i] != b.Result.Assign[i] {
+			t.Fatalf("streaming assignment %d not deterministic", i)
+		}
+	}
+
+	exact := m
+	exact.Mode = ModeExact
+	fe, err := NewFrameClusterer(w, exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := fe.ClusterFrame(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Result.K < e.Result.K {
+		t.Fatalf("streaming K=%d below exact K=%d (bucketing must only split)", a.Result.K, e.Result.K)
+	}
+	// Normalization matches the batch fit closely: cluster counts stay
+	// in the same regime (splits only, bounded blow-up).
+	if float64(a.Result.K) > 3*float64(e.Result.K)+8 {
+		t.Fatalf("streaming K=%d, exact K=%d: split blow-up out of tolerance", a.Result.K, e.Result.K)
+	}
+	if math.Abs(a.Result.Efficiency()-e.Result.Efficiency()) > 0.35 {
+		t.Fatalf("streaming efficiency %v vs exact %v", a.Result.Efficiency(), e.Result.Efficiency())
+	}
+}

@@ -1,0 +1,195 @@
+package subset
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/features"
+	"repro/internal/linalg"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// recordBucketStats publishes pre-bucketing counters to the run's
+// metrics registry. The comparisons counter is the one to watch: it is
+// the hot path's actual work, and bucketing exists to shrink it.
+func recordBucketStats(ctx context.Context, s cluster.BucketStats) {
+	if s.Points == 0 {
+		return
+	}
+	reg := obs.RunFromContext(ctx).Metrics()
+	reg.Counter("cluster.bucket.points").Add(int64(s.Points))
+	reg.Counter("cluster.bucket.buckets").Add(int64(s.Buckets))
+	reg.Counter("cluster.bucket.compares").Add(int64(s.Comparisons))
+}
+
+// onlineNorm fits the per-frame feature scaling in one pass over the
+// draws, without the feature matrix the batch Normalizers need.
+// ZScore uses Welford's update, so its variance can differ from the
+// batch two-pass fit in the last bits — acceptable for the streaming
+// mode, which is approximate by contract and covered by the
+// equivalence suite rather than the golden corpus.
+type onlineNorm struct {
+	kind         string // "zscore", "minmax" or "none"
+	n            float64
+	mean, m2     []float64 // Welford accumulators (zscore)
+	min, max     []float64 // running extrema (minmax)
+	shift, scale []float64 // finalized: v[j] = (v[j] - shift[j]) * scale[j]
+}
+
+func newOnlineNorm(kind string, dims int) *onlineNorm {
+	o := &onlineNorm{kind: kind}
+	switch kind {
+	case "", "zscore":
+		o.kind = "zscore"
+		o.mean = make([]float64, dims)
+		o.m2 = make([]float64, dims)
+	case "minmax":
+		o.min = make([]float64, dims)
+		o.max = make([]float64, dims)
+		for j := range o.min {
+			o.min[j] = math.Inf(1)
+			o.max[j] = math.Inf(-1)
+		}
+	case "none":
+	}
+	return o
+}
+
+func (o *onlineNorm) observe(v []float64) {
+	switch o.kind {
+	case "zscore":
+		o.n++
+		for j, x := range v {
+			d := x - o.mean[j]
+			o.mean[j] += d / o.n
+			o.m2[j] += d * (x - o.mean[j])
+		}
+	case "minmax":
+		for j, x := range v {
+			if x < o.min[j] {
+				o.min[j] = x
+			}
+			if x > o.max[j] {
+				o.max[j] = x
+			}
+		}
+	}
+}
+
+func (o *onlineNorm) finalize() {
+	switch o.kind {
+	case "zscore":
+		o.shift = o.mean
+		o.scale = make([]float64, len(o.mean))
+		for j := range o.scale {
+			if o.n > 0 {
+				if sd := math.Sqrt(o.m2[j] / o.n); sd > 0 {
+					o.scale[j] = 1 / sd
+				}
+			} // constant feature collapses to 0, matching linalg.ZScore
+		}
+	case "minmax":
+		o.shift = o.min
+		o.scale = make([]float64, len(o.min))
+		for j := range o.scale {
+			if r := o.max[j] - o.min[j]; r > 0 {
+				o.scale[j] = 1 / r
+			}
+		}
+	}
+}
+
+func (o *onlineNorm) apply(v []float64) {
+	if o.kind == "none" {
+		return
+	}
+	for j := range v {
+		v[j] = (v[j] - o.shift[j]) * o.scale[j]
+	}
+}
+
+// clusterFrameStreaming is the ModeStreaming hot path: three passes of
+// per-draw extraction — fit scaling, cluster, pick medoids — with
+// O(dims + K x dims) working memory and no n x dims matrix, ever. It
+// is what lets a corpus-scale run cluster frames far larger than
+// memory would allow the exact path.
+func (fc *FrameClusterer) clusterFrameStreaming(ctx context.Context, f *trace.Frame, frameIndex int) (ClusteredFrame, error) {
+	dims := features.NumFeatures
+	if fc.featIdx != nil {
+		dims = len(fc.featIdx)
+	}
+	n := len(f.Draws)
+	cf := ClusteredFrame{FrameIndex: frameIndex}
+	if n == 0 {
+		cf.Result = cluster.Result{Assign: []int{}, Centroids: linalg.NewMatrix(0, dims)}
+		cf.RepDraws = []int{}
+		cf.Weights = []float64{}
+		return cf, nil
+	}
+
+	full := make([]float64, features.NumFeatures)
+	vec := full
+	if fc.featIdx != nil {
+		vec = make([]float64, dims)
+	}
+	extract := func(i int) {
+		fc.ex.DrawInto(&f.Draws[i], full)
+		if fc.featIdx != nil {
+			for j, k := range fc.featIdx {
+				vec[j] = full[k]
+			}
+		}
+	}
+
+	// Pass 1: fit the per-frame scaling online.
+	norm := newOnlineNorm(fc.method.Normalizer, dims)
+	for i := 0; i < n; i++ {
+		extract(i)
+		norm.observe(vec)
+	}
+	norm.finalize()
+
+	// Pass 2: one-pass leader clustering over normalized draws.
+	sl, err := cluster.NewStreamingLeader(dims, fc.method.Threshold)
+	if err != nil {
+		return ClusteredFrame{}, fmt.Errorf("subset: streaming frame %d: %w", frameIndex, err)
+	}
+	assign := make([]int, n)
+	for i := 0; i < n; i++ {
+		extract(i)
+		norm.apply(vec)
+		assign[i] = sl.Add(vec)
+	}
+	recordBucketStats(ctx, sl.Stats())
+
+	cf.Result = cluster.Result{Assign: assign, K: sl.K(), Centroids: sl.Centroids()}
+
+	// Pass 3: medoids — the member nearest its cluster centroid.
+	best := make([]int, sl.K())
+	bestD := make([]float64, sl.K())
+	for c := range best {
+		best[c] = -1
+	}
+	cent := cf.Result.Centroids
+	for i := 0; i < n; i++ {
+		extract(i)
+		norm.apply(vec)
+		c := assign[i]
+		d := linalg.SqDist(vec, cent.Row(c))
+		if best[c] == -1 || d < bestD[c] {
+			best[c] = i
+			bestD[c] = d
+		}
+	}
+	cf.RepDraws = best
+
+	sizes := sl.Sizes()
+	cf.Weights = make([]float64, len(sizes))
+	for c, s := range sizes {
+		cf.Weights[c] = float64(s)
+	}
+	return cf, nil
+}

@@ -1,0 +1,11 @@
+//go:build !race
+
+// Package testutil carries small helpers shared by test files across
+// packages.
+package testutil
+
+// RaceEnabled reports whether the race detector is compiled in.
+// Allocation-count tests skip under the race detector: its
+// instrumentation allocates, so AllocsPerRun measures the detector,
+// not the code under test.
+const RaceEnabled = false
