@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 vet lint build test cover cover-cluster fuzz-seeds bench bench-parallel bench-cache bench-hotpath bench-hotpath-check serve-smoke bench-serve clean
+.PHONY: tier1 vet lint build test cover cover-cluster cover-export fuzz-seeds bench bench-parallel bench-cache bench-hotpath bench-hotpath-check serve-smoke bench-serve clean
 
 # BENCHTIME tunes the hot-path benchmark arms; 1s x 3 counts balances
 # noise robustness (benchjson keeps the fastest repetition) against CI
@@ -52,6 +52,15 @@ cover-cluster:
 	echo "internal/cluster coverage: $$total%"; \
 	awk -v t="$$total" 'BEGIN { exit !(t + 0 >= 70) }' || { echo "FAIL: internal/cluster coverage $$total% below the 70% gate"; exit 1; }
 
+# cover-export gates the telemetry exposition layer: a writer/parser
+# pair that misrenders or misreads /metrics lies to every operator and
+# alert downstream, so it carries the same 70% floor.
+cover-export:
+	$(GO) test -coverprofile=cover-export.out ./internal/obs/export/
+	@total=$$($(GO) tool cover -func=cover-export.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	echo "internal/obs/export coverage: $$total%"; \
+	awk -v t="$$total" 'BEGIN { exit !(t + 0 >= 70) }' || { echo "FAIL: internal/obs/export coverage $$total% below the 70% gate"; exit 1; }
+
 # bench runs every benchmark (experiments + parallel engine) and
 # records the parallel speedup curves in BENCH_parallel.json.
 bench:
@@ -95,19 +104,26 @@ bench-hotpath-check:
 
 # serve-smoke is the service's end-to-end gate: build subsetd, start
 # it on a loopback port, upload a synthetic workload, require a cold
-# and a warm subset query to answer byte-identically, then SIGTERM it
-# and require a graceful drain (pid file gone, run manifest written).
+# and a warm subset query to answer byte-identically, scrape /metrics
+# through subsetstat (which requires the request/admission/cache and
+# runtime families to be present and parseable, and saves the raw
+# exposition to serve-scratch/metrics.prom), then SIGTERM it and
+# require a graceful drain (pid file gone, run manifest written).
 serve-smoke:
 	@set -e; \
 	rm -rf serve-scratch; mkdir -p serve-scratch/cache; \
 	$(GO) build -o serve-scratch/subsetd ./cmd/subsetd; \
 	$(GO) build -o serve-scratch/subsetload ./cmd/subsetload; \
+	$(GO) build -o serve-scratch/subsetstat ./cmd/subsetstat; \
 	serve-scratch/subsetd -addr 127.0.0.1:8741 -cache-dir serve-scratch/cache \
 	  -pid-file serve-scratch/subsetd.pid -manifest serve-scratch/manifest.json \
 	  >serve-scratch/subsetd.log 2>&1 & \
 	pid=$$!; \
 	trap 'kill -TERM $$pid 2>/dev/null || true' EXIT; \
 	serve-scratch/subsetload -addr http://127.0.0.1:8741 -smoke; \
+	serve-scratch/subsetstat -addr http://127.0.0.1:8741 -once \
+	  -require subsetd_up,subsetd_ready,subsetd_serve_requests_total,subsetd_serve_http_requests_total,subsetd_serve_http_latency_ms,subsetd_cache_hit_total,subsetd_admission_queue_depth,go_goroutines \
+	  -out serve-scratch/metrics.prom; \
 	kill -TERM $$pid; \
 	wait $$pid || { echo "FAIL: subsetd exited non-zero after SIGTERM"; exit 1; }; \
 	test ! -e serve-scratch/subsetd.pid || { echo "FAIL: pid file not removed on exit"; exit 1; }; \
@@ -138,5 +154,5 @@ bench-serve:
 
 clean:
 	$(GO) clean ./...
-	rm -f bench.out bench-cache.out bench-hotpath.out bench-hotpath-new.json cover.out cover-cluster.out BENCH_parallel.json BENCH_cache.json
+	rm -f bench.out bench-cache.out bench-hotpath.out bench-hotpath-new.json cover.out cover-cluster.out cover-export.out BENCH_parallel.json BENCH_cache.json
 	rm -rf serve-scratch

@@ -21,7 +21,20 @@
 //	POST /v1/price           {"workload": "<fp>", "core_clock_ghz": x,
 //	                          "mem_clock_ghz": y}
 //	GET  /v1/stats           service counters and cache statistics
-//	GET  /healthz            liveness (503 while draining)
+//	GET  /metrics            Prometheus text exposition: request,
+//	                         admission, cache and Go runtime families
+//	GET  /healthz            liveness — 200 for as long as the process
+//	                         can answer, even while draining
+//	GET  /readyz             readiness — 503 once draining starts or the
+//	                         admission queue backs up past
+//	                         -ready-max-queue, so load balancers back
+//	                         off before arrivals shed
+//	GET  /debug/events       bounded ring of recent classified errors
+//	                         and upload-degradation diagnostics
+//
+// Every response carries an X-Subsetd-Trace-Id header (echoing the
+// request's, or generated), the key that ties a response to the
+// server's logs and /debug/events entries.
 //
 // Robustness: per-request timeouts, admission control with load
 // shedding (429 + Retry-After beyond -max-concurrent/-queue-depth),
@@ -29,7 +42,8 @@
 // containment, and body-size caps. SIGTERM/SIGINT drains gracefully:
 // in-flight requests finish (bounded by -drain-timeout), the result
 // cache is flushed, and the final run manifest is written to
-// -manifest.
+// -manifest. The telemetry endpoints bypass the drain gate — the
+// server stays observable through its shutdown window.
 package main
 
 import (
@@ -58,6 +72,7 @@ type config struct {
 	maxConcurrent int
 	queueDepth    int
 	queueWait     time.Duration
+	readyMaxQ     int
 	reqTimeout    time.Duration
 	drainTimeout  time.Duration
 	maxBodyMiB    int
@@ -81,6 +96,7 @@ func main() {
 	flag.IntVar(&cfg.maxConcurrent, "max-concurrent", 0, "max requests executing at once (0 = 2x GOMAXPROCS)")
 	flag.IntVar(&cfg.queueDepth, "queue-depth", 0, "max requests waiting for an execution slot before shedding (0 = 4x max-concurrent)")
 	flag.DurationVar(&cfg.queueWait, "queue-wait", 2*time.Second, "max time a request queues before being shed with 429")
+	flag.IntVar(&cfg.readyMaxQ, "ready-max-queue", 0, "admission-queue depth at which /readyz answers 503 (0 = 3/4 of queue-depth)")
 	flag.DurationVar(&cfg.reqTimeout, "timeout", 60*time.Second, "per-request compute deadline")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
 	flag.IntVar(&cfg.maxBodyMiB, "max-body", 256, "upload body cap in MiB")
@@ -127,6 +143,7 @@ func execute(ctx context.Context, cfg config) error {
 		MaxConcurrent:  cfg.maxConcurrent,
 		QueueDepth:     cfg.queueDepth,
 		QueueWait:      cfg.queueWait,
+		ReadyMaxQueue:  cfg.readyMaxQ,
 		BatchSize:      cfg.batchSize,
 		BatchMaxWait:   cfg.batchWait,
 		Workers:        cfg.workers,

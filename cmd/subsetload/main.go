@@ -16,13 +16,25 @@
 //	overload   a 4x-capacity burst of sweep queries fired at once —
 //	           the server must shed the excess with 429, not collapse
 //
+// Every arm reports shed (429) responses separately from latency:
+// a shed is an admission-control decision, not a latency datapoint,
+// and folding its fast 429 into the percentiles would flatter p50
+// exactly when the server is struggling. Each arm's stats carry its
+// shed count and shed_rate alongside p50/p99; the overload arm also
+// reports the shed responses' own latency percentiles (how fast the
+// server says no).
+//
 // -require-shed makes the overload arm a hard assertion (exit 1 when
 // nothing was shed or an unmapped status came back) — the
 // shed-don't-collapse experiment the Makefile runs.
 //
 // Smoke mode uploads, runs one cold and one warm subset query, checks
-// they are byte-identical, and probes /healthz — the end-to-end
-// liveness gate.
+// they are byte-identical, and probes /healthz and /readyz — the
+// end-to-end liveness gate.
+//
+// Every logical request carries an X-Subsetd-Trace-Id header, reused
+// across its retry attempts, so one flaky request lines up as one
+// trace in the server's logs and /debug/events.
 package main
 
 import (
@@ -38,8 +50,10 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/serve"
 	"repro/internal/synth"
 	"repro/internal/trace"
 )
@@ -99,11 +113,24 @@ type reply struct {
 	header http.Header
 }
 
+// traceSeq numbers logical requests; one logical request keeps its
+// trace ID across every retry attempt.
+var traceSeq atomic.Int64
+
+func nextTraceID() string {
+	return fmt.Sprintf("load-%d-%d", os.Getpid(), traceSeq.Add(1))
+}
+
 func (c *client) once(method, path string, body []byte) (reply, error) {
+	return c.onceTraced(method, path, body, nextTraceID())
+}
+
+func (c *client) onceTraced(method, path string, body []byte, tid string) (reply, error) {
 	req, err := http.NewRequest(method, c.base+path, bytes.NewReader(body))
 	if err != nil {
 		return reply{}, err
 	}
+	req.Header.Set(serve.TraceHeader, tid)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return reply{}, err
@@ -118,9 +145,10 @@ func (c *client) once(method, path string, body []byte) (reply, error) {
 
 func (c *client) withRetry(method, path string, body []byte) (reply, error) {
 	delay := c.backoff
+	tid := nextTraceID() // one logical request, one trace across attempts
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
-		r, err := c.once(method, path, body)
+		r, err := c.onceTraced(method, path, body, tid)
 		switch {
 		case err != nil:
 			lastErr = err
@@ -209,17 +237,35 @@ func smoke(c *client, fp string) error {
 	if err != nil || hz.status != http.StatusOK {
 		return fmt.Errorf("healthz: status %d, err %v", hz.status, err)
 	}
-	fmt.Println("smoke ok: cold and warm subset queries byte-identical, healthz live")
+	rz, err := c.once("GET", "/readyz", nil)
+	if err != nil || rz.status != http.StatusOK {
+		return fmt.Errorf("readyz: status %d, err %v (body %s)", rz.status, err, rz.body)
+	}
+	fmt.Println("smoke ok: cold and warm subset queries byte-identical, healthz live, readyz ready")
 	return nil
 }
 
-// armStats is one arm's latency summary.
+// armStats is one arm's latency summary. N, and the percentiles, cover
+// only completed (200) requests; Shed counts the 429s the admission
+// controller turned away, reported alongside — never mixed into — the
+// latency numbers.
 type armStats struct {
-	N      int     `json:"n"`
-	MeanMs float64 `json:"mean_ms"`
-	P50Ms  float64 `json:"p50_ms"`
-	P99Ms  float64 `json:"p99_ms"`
-	MaxMs  float64 `json:"max_ms"`
+	N        int     `json:"n"`
+	MeanMs   float64 `json:"mean_ms"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MaxMs    float64 `json:"max_ms"`
+	Shed     int     `json:"shed"`
+	ShedRate float64 `json:"shed_rate"`
+}
+
+// withShed annotates an arm's summary with its shed accounting.
+func withShed(s armStats, shed int) armStats {
+	s.Shed = shed
+	if total := s.N + shed; total > 0 {
+		s.ShedRate = float64(shed) / float64(total)
+	}
+	return s
 }
 
 func summarize(lat []time.Duration) armStats {
@@ -259,34 +305,40 @@ func bench(cfg config, c *client, fp, name string) error {
 	}
 
 	// Cold arm: every query prices a clock the cache has never seen.
-	coldLat := make([]time.Duration, 0, cfg.coldN)
-	for i := 0; i < cfg.coldN; i++ {
-		start := time.Now()
-		r, err := c.withRetry("POST", "/v1/price", priceBody(0.41+0.01*float64(i)))
-		if err != nil {
-			return fmt.Errorf("cold price %d: %w", i, err)
+	// A shed response (429) is counted, not timed — see the package
+	// comment on shed accounting.
+	pacedArm := func(arm string) (armStats, error) {
+		lat := make([]time.Duration, 0, cfg.coldN)
+		shed := 0
+		for i := 0; i < cfg.coldN; i++ {
+			start := time.Now()
+			r, err := c.withRetry("POST", "/v1/price", priceBody(0.41+0.01*float64(i)))
+			if err != nil {
+				return armStats{}, fmt.Errorf("%s price %d: %w", arm, i, err)
+			}
+			switch r.status {
+			case http.StatusOK:
+				lat = append(lat, time.Since(start))
+			case http.StatusTooManyRequests:
+				shed++
+			default:
+				return armStats{}, fmt.Errorf("%s price %d: status %d: %s", arm, i, r.status, r.body)
+			}
 		}
-		if r.status != http.StatusOK {
-			return fmt.Errorf("cold price %d: status %d: %s", i, r.status, r.body)
-		}
-		coldLat = append(coldLat, time.Since(start))
+		return withShed(summarize(lat), shed), nil
 	}
-	arms["cold"] = summarize(coldLat)
+	cold, err := pacedArm("cold")
+	if err != nil {
+		return err
+	}
+	arms["cold"] = cold
 
 	// Warm arm: the same clocks again — the result cache answers.
-	warmLat := make([]time.Duration, 0, cfg.coldN)
-	for i := 0; i < cfg.coldN; i++ {
-		start := time.Now()
-		r, err := c.withRetry("POST", "/v1/price", priceBody(0.41+0.01*float64(i)))
-		if err != nil {
-			return fmt.Errorf("warm price %d: %w", i, err)
-		}
-		if r.status != http.StatusOK {
-			return fmt.Errorf("warm price %d: status %d: %s", i, r.status, r.body)
-		}
-		warmLat = append(warmLat, time.Since(start))
+	warm, err := pacedArm("warm")
+	if err != nil {
+		return err
 	}
-	arms["warm"] = summarize(warmLat)
+	arms["warm"] = warm
 
 	// Coalesced arm: a herd of identical cold queries fired at once;
 	// single-flight must collapse them into one computation.
@@ -358,6 +410,7 @@ func bench(cfg config, c *client, fp, name string) error {
 	owg.Wait()
 	admitted, shed, other := 0, 0, 0
 	admittedLat := make([]time.Duration, 0, n)
+	shedLat := make([]time.Duration, 0, n)
 	for i, code := range codes {
 		switch code {
 		case http.StatusOK:
@@ -365,18 +418,29 @@ func bench(cfg config, c *client, fp, name string) error {
 			admittedLat = append(admittedLat, olat[i])
 		case http.StatusTooManyRequests:
 			shed++
+			shedLat = append(shedLat, olat[i])
 		default:
 			other++
 		}
 	}
 	os_ := summarize(admittedLat)
+	ss := summarize(shedLat)
+	shedRate := 0.0
+	if admitted+shed > 0 {
+		shedRate = float64(shed) / float64(admitted+shed)
+	}
 	arms["overload"] = map[string]any{
 		"sent": n, "admitted": admitted, "shed": shed, "other": other,
+		"shed_rate":        shedRate,
 		"admitted_mean_ms": os_.MeanMs, "admitted_p50_ms": os_.P50Ms,
 		"admitted_p99_ms": os_.P99Ms, "admitted_max_ms": os_.MaxMs,
+		// How fast the server says no: a shed that is not much faster
+		// than an admitted request means admission control is not
+		// actually protecting anything.
+		"shed_p50_ms": ss.P50Ms, "shed_p99_ms": ss.P99Ms,
 	}
-	fmt.Printf("overload: %d sent, %d admitted, %d shed, %d other; admitted p99 %.1f ms\n",
-		n, admitted, shed, other, os_.P99Ms)
+	fmt.Printf("overload: %d sent, %d admitted, %d shed (rate %.2f), %d other; admitted p99 %.1f ms, shed p99 %.1f ms\n",
+		n, admitted, shed, shedRate, other, os_.P99Ms, ss.P99Ms)
 	if other > 0 {
 		return fmt.Errorf("overload arm: %d requests got an unmapped status", other)
 	}
@@ -394,7 +458,7 @@ func bench(cfg config, c *client, fp, name string) error {
 	if err := os.WriteFile(cfg.out, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (cold p50 %.1f ms, warm p50 %.1f ms, %d/%d coalesced)\n",
-		cfg.out, summarize(coldLat).P50Ms, summarize(warmLat).P50Ms, coalesced, herd)
+	fmt.Printf("wrote %s (cold p50 %.1f ms, warm p50 %.1f ms, %d/%d coalesced, %d paced sheds)\n",
+		cfg.out, cold.P50Ms, warm.P50Ms, coalesced, herd, cold.Shed+warm.Shed)
 	return nil
 }

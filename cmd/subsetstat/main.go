@@ -1,0 +1,271 @@
+// Command subsetstat watches a running subsetd through its /metrics
+// endpoint: a terminal dashboard built from nothing but two consecutive
+// scrapes. Because subsetd exports only cumulative counters and
+// histograms, every rolling statistic here — request and shed rates,
+// per-route p50/p99 over the last interval, cache hit ratio — is a
+// client-side delta; the server keeps no window state.
+//
+// Usage:
+//
+//	subsetstat -addr http://127.0.0.1:8344            # refresh every 2s
+//	subsetstat -addr http://127.0.0.1:8344 -n 5       # five frames, then exit
+//	subsetstat -once -require subsetd_up,go_goroutines -out metrics.prom
+//
+// -once takes a single scrape, prints the all-time view and exits —
+// with -require it doubles as the CI gate that /metrics stays parseable
+// and the named families stay present (exit 1 otherwise). -out saves
+// the raw exposition document for offline inspection.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/obs/export"
+)
+
+type config struct {
+	addr     string
+	interval time.Duration
+	n        int
+	once     bool
+	require  string
+	out      string
+	timeout  time.Duration
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "http://127.0.0.1:8344", "subsetd base URL")
+	flag.DurationVar(&cfg.interval, "interval", 2*time.Second, "refresh interval")
+	flag.IntVar(&cfg.n, "n", 0, "number of frames to render before exiting (0 = forever)")
+	flag.BoolVar(&cfg.once, "once", false, "take one scrape, print the all-time view, exit")
+	flag.StringVar(&cfg.require, "require", "", "comma-separated metric families that must be present (exit 1 otherwise)")
+	flag.StringVar(&cfg.out, "out", "", "save the raw exposition document of the last scrape to this file")
+	flag.DurationVar(&cfg.timeout, "timeout", 10*time.Second, "per-scrape HTTP timeout")
+	flag.Parse()
+
+	if err := run(cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "subsetstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg config, w io.Writer) error {
+	hc := &http.Client{Timeout: cfg.timeout}
+
+	if cfg.once {
+		cur, raw, err := scrape(hc, cfg.addr)
+		if err != nil {
+			return err
+		}
+		if err := finish(cfg, cur, raw); err != nil {
+			return err
+		}
+		fmt.Fprint(w, render(nil, cur))
+		return nil
+	}
+
+	var prev *export.Scrape
+	var lastRaw []byte
+	for frame := 0; cfg.n <= 0 || frame < cfg.n; frame++ {
+		if frame > 0 {
+			time.Sleep(cfg.interval)
+		}
+		cur, raw, err := scrape(hc, cfg.addr)
+		if err != nil {
+			// A restarting or draining server is exactly when an
+			// operator is watching: report and keep trying rather
+			// than dying mid-incident.
+			fmt.Fprintf(w, "\x1b[2J\x1b[Hscrape %s: %v\n", cfg.addr, err)
+			prev = nil
+			continue
+		}
+		fmt.Fprint(w, "\x1b[2J\x1b[H") // clear screen, home cursor
+		fmt.Fprint(w, render(prev, cur))
+		prev, lastRaw = cur, raw
+	}
+	if prev == nil {
+		return fmt.Errorf("no successful scrape of %s", cfg.addr)
+	}
+	return finish(cfg, prev, lastRaw)
+}
+
+// scrape takes one stamped parse of /metrics, returning the raw
+// document alongside so -out can save exactly what came off the wire.
+func scrape(hc *http.Client, addr string) (*export.Scrape, []byte, error) {
+	resp, err := hc.Get(addr + "/metrics")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, fmt.Errorf("/metrics: status %d: %s", resp.StatusCode, firstLine(raw))
+	}
+	s, err := export.Parse(strings.NewReader(string(raw)))
+	if err != nil {
+		return nil, nil, err
+	}
+	s.Time = time.Now()
+	return s, raw, nil
+}
+
+// finish applies the -require and -out obligations to the last scrape.
+func finish(cfg config, s *export.Scrape, raw []byte) error {
+	if cfg.out != "" {
+		if err := os.WriteFile(cfg.out, raw, 0o644); err != nil {
+			return err
+		}
+	}
+	if cfg.require == "" {
+		return nil
+	}
+	var missing []string
+	for _, fam := range strings.Split(cfg.require, ",") {
+		fam = strings.TrimSpace(fam)
+		if fam != "" && !s.Has(fam) {
+			missing = append(missing, fam)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("required families missing from scrape: %s", strings.Join(missing, ", "))
+	}
+	return nil
+}
+
+// render draws one dashboard frame from a pair of scrapes. With a nil
+// prev (first frame, -once) the windowed columns show the all-time
+// quantiles and no rates.
+func render(prev, cur *export.Scrape) string {
+	var b strings.Builder
+
+	up := time.Duration(cur.Total("subsetd_uptime_seconds", nil)) * time.Second
+	state := "ready"
+	if cur.Total("subsetd_ready", nil) != 1 {
+		state = "NOT READY"
+	}
+	if cur.Total("subsetd_draining", nil) == 1 {
+		state = "DRAINING"
+	}
+	fmt.Fprintf(&b, "subsetd up %s  [%s]  workloads %.0f  inflight %.0f  queue %.0f/%.0f\n",
+		up, state,
+		cur.Total("subsetd_workloads_registered", nil),
+		cur.Total("subsetd_inflight_requests", nil),
+		cur.Total("subsetd_admission_queue_depth", nil),
+		cur.Total("subsetd_admission_queue_capacity", nil))
+
+	fmt.Fprintf(&b, "req/s %s  shed/s %s  cache hit %s  heap %.1f MiB  goroutines %.0f\n\n",
+		fmtRate(export.Rate(prev, cur, "subsetd_serve_requests_total", nil)),
+		fmtRate(export.Rate(prev, cur, "subsetd_serve_shed_total", nil)),
+		fmtRatio(hitRatio(prev, cur)),
+		cur.Total("go_memstats_heap_alloc_bytes", nil)/(1<<20),
+		cur.Total("go_goroutines", nil))
+
+	const reqFam = "subsetd_serve_http_requests_total"
+	const latFam = "subsetd_serve_http_latency_ms"
+	routes := cur.LabelValues(reqFam, "route")
+	if len(routes) == 0 {
+		b.WriteString("(no requests recorded yet)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-10s %10s %10s %10s %10s\n", "ROUTE", "REQ/S", "ERR/S", "P50(ms)", "P99(ms)")
+	for _, route := range routes {
+		match := map[string]string{"route": route}
+		fmt.Fprintf(&b, "%-10s %10s %10s %10s %10s\n",
+			route,
+			fmtRate(export.Rate(prev, cur, reqFam, match)),
+			fmtRate(errRate(prev, cur, reqFam, route)),
+			fmtMs(export.DeltaQuantile(prev, cur, latFam, match, 0.50)),
+			fmtMs(export.DeltaQuantile(prev, cur, latFam, match, 0.99)))
+	}
+	return b.String()
+}
+
+// errTotal sums a route's samples whose status label is 4xx/5xx —
+// Total cannot express "status >= 400" through exact matching.
+func errTotal(s *export.Scrape, fam, route string) float64 {
+	if s == nil {
+		return 0
+	}
+	var total float64
+	for _, p := range s.Points {
+		if p.Name != fam || p.Labels["route"] != route {
+			continue
+		}
+		if st := p.Labels["status"]; len(st) == 3 && (st[0] == '4' || st[0] == '5') {
+			total += p.Value
+		}
+	}
+	return total
+}
+
+func errRate(prev, cur *export.Scrape, fam, route string) float64 {
+	if prev == nil || cur == nil {
+		return math.NaN()
+	}
+	dt := cur.Time.Sub(prev.Time).Seconds()
+	if dt <= 0 {
+		return math.NaN()
+	}
+	d := errTotal(cur, fam, route) - errTotal(prev, fam, route)
+	if d < 0 {
+		d = 0
+	}
+	return d / dt
+}
+
+// hitRatio is the cache hit fraction over the window: Δhit/(Δhit+Δmiss).
+func hitRatio(prev, cur *export.Scrape) float64 {
+	if cur == nil {
+		return math.NaN()
+	}
+	hits := cur.Total("subsetd_cache_hit_total", nil)
+	misses := cur.Total("subsetd_cache_miss_total", nil)
+	if prev != nil {
+		hits -= prev.Total("subsetd_cache_hit_total", nil)
+		misses -= prev.Total("subsetd_cache_miss_total", nil)
+	}
+	if hits < 0 || misses < 0 || hits+misses == 0 {
+		return math.NaN()
+	}
+	return hits / (hits + misses)
+}
+
+func fmtRate(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+func fmtRatio(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f%%", 100*v)
+}
+
+func fmtMs(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+func firstLine(b []byte) string {
+	s := strings.TrimSpace(string(b))
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}

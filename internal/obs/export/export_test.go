@@ -1,0 +1,268 @@
+package export
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestLabelSplitKeyRoundTrip(t *testing.T) {
+	cases := []struct {
+		kv   []string
+		base string
+		want [][2]string
+	}{
+		{nil, "serve.requests", nil},
+		{[]string{"route", "subset"}, "serve.requests", [][2]string{{"route", "subset"}}},
+		{[]string{"route", "subset", "status", "200"}, "serve.requests",
+			[][2]string{{"route", "subset"}, {"status", "200"}}},
+	}
+	for _, c := range cases {
+		key := Label(c.base, c.kv...)
+		base, labels := splitKey(key)
+		if base != c.base {
+			t.Errorf("splitKey(%q) base = %q, want %q", key, base, c.base)
+		}
+		if len(labels) != len(c.want) {
+			t.Fatalf("splitKey(%q) labels = %v, want %v", key, labels, c.want)
+		}
+		for i := range labels {
+			if labels[i] != c.want[i] {
+				t.Errorf("splitKey(%q) label %d = %v, want %v", key, i, labels[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestSplitKeyMalformed(t *testing.T) {
+	// Keys that do not follow the Label convention come back whole —
+	// exposition must not fail on a weird registry name.
+	for _, key := range []string{
+		"plain.name",
+		"open.brace{route=subset",
+		"no.equals{routesubset}",
+		"empty.key{=v}",
+		"trailing{a=b}x",
+	} {
+		base, labels := splitKey(key)
+		if labels != nil {
+			t.Errorf("splitKey(%q) = (%q, %v), want whole key with nil labels", key, base, labels)
+		}
+	}
+	if base, labels := splitKey("empty.labels{}"); base != "empty.labels" || labels != nil {
+		t.Errorf("splitKey(empty.labels{}) = (%q, %v)", base, labels)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"serve.http.requests": "serve_http_requests",
+		"already_fine:ok":     "already_fine:ok",
+		"9starts.with.digit":  "_9starts_with_digit",
+		"sp ace-dash":         "sp_ace_dash",
+		"":                    "_",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFamiliesFromSnapshot(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter(Label("serve.http.requests", "route", "subset", "status", "200")).Add(7)
+	r.Counter(Label("serve.http.requests", "route", "upload", "status", "201")).Add(3)
+	r.Counter("serve.requests").Add(10)
+	r.Gauge("serve.queued").Set(2)
+	h := r.Histogram(Label("serve.http.latency_ms", "route", "subset"))
+	h.Observe(0.8) // bucket le=1
+	h.Observe(1.5) // bucket le=2
+	h.Observe(3.0) // bucket le=4
+
+	fams := Families(r.Snapshot(), "subsetd_")
+	byName := map[string]Family{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+
+	reqs, ok := byName["subsetd_serve_http_requests_total"]
+	if !ok {
+		t.Fatalf("labeled counter family missing; have %v", keys(byName))
+	}
+	if reqs.Type != "counter" || len(reqs.Samples) != 2 {
+		t.Errorf("requests family: type=%q samples=%d, want counter/2", reqs.Type, len(reqs.Samples))
+	}
+	var total float64
+	for _, s := range reqs.Samples {
+		total += s.Value
+	}
+	if total != 10 {
+		t.Errorf("labeled samples sum to %v, want 10", total)
+	}
+
+	if f, ok := byName["subsetd_serve_requests_total"]; !ok || f.Samples[0].Value != 10 {
+		t.Errorf("unlabeled counter family wrong: %+v", f)
+	}
+	if f, ok := byName["subsetd_serve_queued"]; !ok || f.Type != "gauge" || f.Samples[0].Value != 2 {
+		t.Errorf("gauge family wrong: %+v", f)
+	}
+
+	lat, ok := byName["subsetd_serve_http_latency_ms"]
+	if !ok || lat.Type != "histogram" || len(lat.Hists) != 1 {
+		t.Fatalf("histogram family wrong: %+v", lat)
+	}
+	hs := lat.Hists[0]
+	if hs.Count != 3 || math.Abs(hs.Sum-5.3) > 1e-9 {
+		t.Errorf("hist count/sum = %d/%v, want 3/5.3", hs.Count, hs.Sum)
+	}
+	// Occupied power-of-two buckets 1, 2, 4 must come out cumulative.
+	if len(hs.Bounds) != 3 || hs.Bounds[0] != 1 || hs.Bounds[1] != 2 || hs.Bounds[2] != 4 {
+		t.Fatalf("bounds = %v, want [1 2 4]", hs.Bounds)
+	}
+	if hs.Cum[0] != 1 || hs.Cum[1] != 2 || hs.Cum[2] != 3 {
+		t.Errorf("cumulative counts = %v, want [1 2 3]", hs.Cum)
+	}
+}
+
+func keys(m map[string]Family) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestWriteParseRoundTrip: everything the writer emits, the package's
+// own parser reads back — the property the watch CLI and CI scrape
+// checks stand on.
+func TestWriteParseRoundTrip(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter(Label("serve.http.requests", "route", "subset", "status", "200")).Add(5)
+	r.Counter(Label("serve.http.requests", "route", "stats", "status", "200")).Add(2)
+	r.Gauge("serve.queued").Set(1)
+	h := r.Histogram(Label("serve.http.latency_ms", "route", "subset"))
+	for _, v := range []float64{0.5, 1.5, 1.9, 7.2} {
+		h.Observe(v)
+	}
+
+	fams := Families(r.Snapshot(), "subsetd_")
+	fams = append(fams, Scalar("subsetd_up", "gauge", "1 while the process is serving.", 1))
+	fams = append(fams, Runtime()...)
+
+	var buf bytes.Buffer
+	if err := Write(&buf, fams); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("parse back: %v\n%s", err, buf.String())
+	}
+
+	if got := s.Total("subsetd_serve_http_requests_total", nil); got != 7 {
+		t.Errorf("requests total = %v, want 7", got)
+	}
+	if got := s.Total("subsetd_serve_http_requests_total", map[string]string{"route": "subset"}); got != 5 {
+		t.Errorf("subset route total = %v, want 5", got)
+	}
+	if got := s.Total("subsetd_serve_http_latency_ms_count", map[string]string{"route": "subset"}); got != 4 {
+		t.Errorf("latency count = %v, want 4", got)
+	}
+	if typ := s.Types["subsetd_serve_http_requests_total"]; typ != "counter" {
+		t.Errorf("TYPE = %q, want counter", typ)
+	}
+	if typ := s.Types["subsetd_serve_http_latency_ms"]; typ != "histogram" {
+		t.Errorf("TYPE = %q, want histogram", typ)
+	}
+	if vals := s.LabelValues("subsetd_serve_http_requests_total", "route"); len(vals) != 2 ||
+		vals[0] != "stats" || vals[1] != "subset" {
+		t.Errorf("route label values = %v, want [stats subset]", vals)
+	}
+	if !s.Has("go_goroutines") || !s.Has("subsetd_up") {
+		t.Error("runtime or scalar families missing after round trip")
+	}
+	// The +Inf bucket must be present and equal to the count.
+	inf := s.Total("subsetd_serve_http_latency_ms_bucket",
+		map[string]string{"route": "subset", "le": "+Inf"})
+	if inf != 4 {
+		t.Errorf("+Inf bucket = %v, want 4", inf)
+	}
+	// A one-scrape quantile is computable and lands inside the
+	// observation range.
+	q := s.Quantile("subsetd_serve_http_latency_ms", map[string]string{"route": "subset"}, 0.5)
+	if math.IsNaN(q) || q <= 0 || q > 8 {
+		t.Errorf("p50 = %v, want within (0, 8]", q)
+	}
+}
+
+func TestWriteDeterministic(t *testing.T) {
+	r := obs.NewRegistry()
+	for _, route := range []string{"subset", "upload", "stats", "price"} {
+		r.Counter(Label("serve.http.requests", "route", route, "status", "200")).Inc()
+		r.Histogram(Label("serve.http.latency_ms", "route", route)).Observe(1.0)
+	}
+	snap := r.Snapshot()
+	var a, b bytes.Buffer
+	if err := Write(&a, Families(snap, "subsetd_")); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, Families(snap, "subsetd_")); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two renders of the same snapshot differ — map iteration leaked into output order")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	fams := []Family{{
+		Name: "weird", Type: "gauge",
+		Samples: []Sample{{Labels: [][2]string{{"k", "a\"b\\c\nd"}}, Value: 1}},
+	}}
+	var buf bytes.Buffer
+	if err := Write(&buf, fams); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("escaped label did not parse back: %v\n%s", err, buf.String())
+	}
+	if len(s.Points) != 1 || s.Points[0].Labels["k"] != "a\"b\\c\nd" {
+		t.Errorf("escaped label round trip = %+v", s.Points)
+	}
+}
+
+func TestRuntimeFamilies(t *testing.T) {
+	fams := Runtime()
+	byName := map[string]Family{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	if g, ok := byName["go_goroutines"]; !ok || g.Samples[0].Value < 1 {
+		t.Errorf("go_goroutines = %+v", g)
+	}
+	if h, ok := byName["go_memstats_heap_alloc_bytes"]; !ok || h.Samples[0].Value <= 0 {
+		t.Errorf("heap alloc = %+v", h)
+	}
+	for _, f := range fams {
+		if f.Help == "" {
+			t.Errorf("runtime family %s has no help text", f.Name)
+		}
+		if strings.HasSuffix(f.Name, "_total") != (f.Type == "counter") {
+			t.Errorf("family %s: _total suffix and type %q disagree", f.Name, f.Type)
+		}
+	}
+}
+
+func TestWriteSkipsEmptyFamilies(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, []Family{{Name: "empty", Type: "counter"}}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("empty family rendered %q", buf.String())
+	}
+}

@@ -1,0 +1,328 @@
+package export
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Point is one parsed sample line.
+type Point struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Scrape is one parsed exposition document. Time is stamped by the
+// caller when the scrape was taken; two Scrapes are the unit every
+// rolling-window statistic (Rate, DeltaQuantile) works from.
+type Scrape struct {
+	Time   time.Time
+	Types  map[string]string // family name -> counter|gauge|histogram|untyped
+	Points []Point
+}
+
+// Parse reads a Prometheus text exposition document. It is strict
+// about sample-line shape (CI uses it to assert /metrics stays
+// parseable) but ignores comment lines it does not understand.
+func Parse(r io.Reader) (*Scrape, error) {
+	s := &Scrape{Types: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				s.Types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		p, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("export: line %d: %w", lineNo, err)
+		}
+		s.Points = append(s.Points, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func parseSample(line string) (Point, error) {
+	var p Point
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return p, fmt.Errorf("sample %q has no value", line)
+	} else {
+		p.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if !validName(p.Name) {
+		return p, fmt.Errorf("invalid metric name %q", p.Name)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.IndexByte(rest, '}')
+		if end < 0 {
+			return p, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parseLabels(rest[1:end])
+		if err != nil {
+			return p, err
+		}
+		p.Labels = labels
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return p, fmt.Errorf("sample %q has %d value fields", line, len(fields))
+	}
+	v, err := parseFloat(fields[0])
+	if err != nil {
+		return p, fmt.Errorf("sample %q: %w", line, err)
+	}
+	p.Value = v
+	return p, nil
+}
+
+func parseLabels(s string) (map[string]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	out := map[string]string{}
+	rest := s
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("malformed label pair in %q", s)
+		}
+		key := strings.TrimSpace(rest[:eq])
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return nil, fmt.Errorf("unquoted label value in %q", s)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				i++
+				switch rest[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if i >= len(rest) {
+			return nil, fmt.Errorf("unterminated label value in %q", s)
+		}
+		out[key] = val.String()
+		rest = strings.TrimPrefix(strings.TrimSpace(rest[i+1:]), ",")
+		rest = strings.TrimSpace(rest)
+	}
+	return out, nil
+}
+
+func parseFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// matches reports whether every pair in match appears in labels.
+func matches(labels, match map[string]string) bool {
+	for k, v := range match {
+		if labels[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Total sums every sample of the named family whose labels include
+// match. Histogram families should be addressed via their _count,
+// _sum or _bucket children.
+func (s *Scrape) Total(name string, match map[string]string) float64 {
+	if s == nil {
+		return 0
+	}
+	var total float64
+	for _, p := range s.Points {
+		if p.Name == name && matches(p.Labels, match) {
+			total += p.Value
+		}
+	}
+	return total
+}
+
+// Has reports whether the family is present, either as a TYPE
+// declaration or as at least one sample (histogram children count
+// toward their parent family).
+func (s *Scrape) Has(name string) bool {
+	if s == nil {
+		return false
+	}
+	if _, ok := s.Types[name]; ok {
+		return true
+	}
+	for _, p := range s.Points {
+		if p.Name == name || p.Name == name+"_count" || p.Name == name+"_bucket" || p.Name == name+"_sum" {
+			return true
+		}
+	}
+	return false
+}
+
+// LabelValues returns the distinct values of one label key across the
+// family's samples, sorted — how a watch client discovers routes.
+func (s *Scrape) LabelValues(name, key string) []string {
+	if s == nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	for _, p := range s.Points {
+		if p.Name != name {
+			continue
+		}
+		if v, ok := p.Labels[key]; ok && !seen[v] {
+			seen[v] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Rate is the per-second increase of a cumulative family between two
+// scrapes, using the scrapes' own timestamps. Negative deltas (a
+// restarted server) clamp to zero. NaN when the window is degenerate.
+func Rate(prev, cur *Scrape, name string, match map[string]string) float64 {
+	if prev == nil || cur == nil {
+		return math.NaN()
+	}
+	dt := cur.Time.Sub(prev.Time).Seconds()
+	if dt <= 0 {
+		return math.NaN()
+	}
+	d := cur.Total(name, match) - prev.Total(name, match)
+	if d < 0 {
+		d = 0
+	}
+	return d / dt
+}
+
+// Quantile estimates the q-quantile of a histogram family from its
+// cumulative buckets, aggregated across every sample whose labels
+// include match. The estimate linearly interpolates inside the
+// bucket that crosses the target rank (the standard
+// histogram_quantile construction); an empty histogram yields NaN and
+// a rank landing in the +Inf bucket yields the largest finite bound.
+func (s *Scrape) Quantile(name string, match map[string]string, q float64) float64 {
+	return DeltaQuantile(nil, s, name, match, q)
+}
+
+// DeltaQuantile is Quantile over the window between two scrapes: the
+// cumulative bucket counts of prev are subtracted from cur first, so
+// the estimate covers only observations recorded between them. A nil
+// prev degenerates to the all-time quantile.
+func DeltaQuantile(prev, cur *Scrape, name string, match map[string]string, q float64) float64 {
+	if cur == nil || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	bucket := name + "_bucket"
+	cum := map[float64]float64{}
+	collect := func(s *Scrape, sign float64) {
+		if s == nil {
+			return
+		}
+		for _, p := range s.Points {
+			if p.Name != bucket {
+				continue
+			}
+			le, ok := p.Labels["le"]
+			if !ok || !matches(p.Labels, match) {
+				continue
+			}
+			bound, err := parseFloat(le)
+			if err != nil {
+				continue
+			}
+			cum[bound] += sign * p.Value
+		}
+	}
+	collect(cur, 1)
+	collect(prev, -1)
+	if len(cum) == 0 {
+		return math.NaN()
+	}
+	bounds := make([]float64, 0, len(cum))
+	for b := range cum {
+		bounds = append(bounds, b)
+	}
+	sort.Float64s(bounds)
+	total := cum[bounds[len(bounds)-1]] // the +Inf (or widest) bucket
+	if total <= 0 {
+		return math.NaN()
+	}
+	target := q * total
+	var prevBound, prevCount float64
+	for _, b := range bounds {
+		c := cum[b]
+		if c < prevCount {
+			c = prevCount // guard against restart-skewed deltas
+		}
+		if c >= target {
+			if math.IsInf(b, 1) {
+				return prevBound
+			}
+			if c == prevCount {
+				return b
+			}
+			return prevBound + (b-prevBound)*(target-prevCount)/(c-prevCount)
+		}
+		prevBound, prevCount = b, c
+	}
+	return prevBound
+}

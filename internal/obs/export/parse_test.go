@@ -1,0 +1,227 @@
+package export
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustParse(t *testing.T, doc string) *Scrape {
+	t.Helper()
+	s, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return s
+}
+
+func TestParseBasics(t *testing.T) {
+	s := mustParse(t, `
+# HELP reqs_total Requests served.
+# TYPE reqs_total counter
+reqs_total{route="subset",status="200"} 7
+reqs_total{route="upload",status="201"} 3
+
+# a comment the parser does not understand
+# TYPE queue gauge
+queue 2
+inf_val +Inf
+neg_inf -Inf
+nan_val NaN
+with_ts 4 1712345678
+`)
+	if len(s.Points) != 7 {
+		t.Fatalf("parsed %d points, want 7", len(s.Points))
+	}
+	if s.Types["reqs_total"] != "counter" || s.Types["queue"] != "gauge" {
+		t.Errorf("types = %v", s.Types)
+	}
+	if got := s.Total("reqs_total", nil); got != 10 {
+		t.Errorf("Total(reqs_total) = %v, want 10", got)
+	}
+	if got := s.Total("reqs_total", map[string]string{"status": "201"}); got != 3 {
+		t.Errorf("Total(status=201) = %v, want 3", got)
+	}
+	if !math.IsInf(s.Points[3].Value, 1) || !math.IsInf(s.Points[4].Value, -1) {
+		t.Error("Inf values not parsed")
+	}
+	if !math.IsNaN(s.Points[5].Value) {
+		t.Error("NaN not parsed")
+	}
+	if s.Points[6].Value != 4 {
+		t.Error("sample with trailing timestamp not parsed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, doc := range []string{
+		"justaname",
+		"bad-name 1",
+		`open{route="subset" 1`,
+		`unquoted{route=subset} 1`,
+		`unterminated{route="subset} 1`,
+		"value_is_not_a_number abc",
+		"too_many_fields 1 2 3",
+	} {
+		if _, err := Parse(strings.NewReader(doc)); err == nil {
+			t.Errorf("Parse(%q) accepted malformed input", doc)
+		}
+	}
+}
+
+func TestHas(t *testing.T) {
+	s := mustParse(t, `
+# TYPE lat histogram
+lat_bucket{le="1"} 2
+lat_bucket{le="+Inf"} 3
+lat_sum 4.5
+lat_count 3
+plain 1
+`)
+	for _, name := range []string{"lat", "lat_count", "plain"} {
+		if !s.Has(name) {
+			t.Errorf("Has(%q) = false", name)
+		}
+	}
+	if s.Has("absent") {
+		t.Error("Has(absent) = true")
+	}
+	var nilScrape *Scrape
+	if nilScrape.Has("anything") || nilScrape.Total("anything", nil) != 0 {
+		t.Error("nil scrape not inert")
+	}
+}
+
+func TestLabelValues(t *testing.T) {
+	s := mustParse(t, `
+reqs{route="upload"} 1
+reqs{route="subset"} 2
+reqs{route="subset"} 3
+other{route="zzz"} 1
+`)
+	got := s.LabelValues("reqs", "route")
+	if len(got) != 2 || got[0] != "subset" || got[1] != "upload" {
+		t.Errorf("LabelValues = %v, want [subset upload]", got)
+	}
+}
+
+func TestRate(t *testing.T) {
+	prev := mustParse(t, `reqs_total 100`)
+	cur := mustParse(t, `reqs_total 160`)
+	prev.Time = time.Unix(1000, 0)
+	cur.Time = time.Unix(1030, 0)
+
+	if got := Rate(prev, cur, "reqs_total", nil); math.Abs(got-2.0) > 1e-9 {
+		t.Errorf("Rate = %v, want 2.0", got)
+	}
+
+	// A restarted server (counter went backward) clamps to zero.
+	down := mustParse(t, `reqs_total 10`)
+	down.Time = cur.Time
+	if got := Rate(prev, down, "reqs_total", nil); got != 0 {
+		t.Errorf("Rate after reset = %v, want 0", got)
+	}
+
+	// Degenerate windows are NaN, not a division blowup.
+	same := mustParse(t, `reqs_total 160`)
+	same.Time = prev.Time
+	if got := Rate(prev, same, "reqs_total", nil); !math.IsNaN(got) {
+		t.Errorf("Rate over zero window = %v, want NaN", got)
+	}
+	if got := Rate(nil, cur, "reqs_total", nil); !math.IsNaN(got) {
+		t.Errorf("Rate with nil prev = %v, want NaN", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := mustParse(t, `
+lat_bucket{le="1"} 10
+lat_bucket{le="2"} 20
+lat_bucket{le="4"} 20
+lat_bucket{le="+Inf"} 20
+lat_sum 30
+lat_count 20
+`)
+	cases := []struct{ q, want float64 }{
+		{0.5, 1.0},  // rank 10: top of the first bucket
+		{0.75, 1.5}, // rank 15: midway through (1, 2]
+		{1.0, 2.0},  // rank 20: top of the crossing bucket
+		{0.25, 0.5}, // rank 5: interpolated from 0 inside (0, 1]
+	}
+	for _, c := range cases {
+		if got := s.Quantile("lat", nil, c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+
+	// A rank landing in the +Inf bucket answers the largest finite
+	// bound rather than infinity.
+	tail := mustParse(t, `
+lat_bucket{le="1"} 10
+lat_bucket{le="4"} 20
+lat_bucket{le="+Inf"} 40
+`)
+	if got := tail.Quantile("lat", nil, 0.9); got != 4 {
+		t.Errorf("Quantile into +Inf bucket = %v, want 4", got)
+	}
+
+	// Degenerate inputs are NaN.
+	if got := s.Quantile("absent", nil, 0.5); !math.IsNaN(got) {
+		t.Errorf("Quantile(absent) = %v, want NaN", got)
+	}
+	if got := s.Quantile("lat", nil, 1.5); !math.IsNaN(got) {
+		t.Errorf("Quantile(q>1) = %v, want NaN", got)
+	}
+	empty := mustParse(t, `lat_bucket{le="+Inf"} 0`)
+	if got := empty.Quantile("lat", nil, 0.5); !math.IsNaN(got) {
+		t.Errorf("Quantile of empty histogram = %v, want NaN", got)
+	}
+}
+
+// TestDeltaQuantile: the two-scrape window — the statistic subsetstat
+// renders — covers only observations between the scrapes.
+func TestDeltaQuantile(t *testing.T) {
+	prev := mustParse(t, `
+lat_bucket{le="1"} 100
+lat_bucket{le="2"} 100
+lat_bucket{le="+Inf"} 100
+`)
+	// Since prev: 10 more observations, all in (1, 2].
+	cur := mustParse(t, `
+lat_bucket{le="1"} 100
+lat_bucket{le="2"} 110
+lat_bucket{le="+Inf"} 110
+`)
+	got := DeltaQuantile(prev, cur, "lat", nil, 0.5)
+	if got <= 1 || got > 2 {
+		t.Errorf("DeltaQuantile p50 = %v, want within (1, 2] — the window's only bucket", got)
+	}
+	// The all-time quantile over cur would sit in (0, 1] instead —
+	// proving the delta actually removed the old mass.
+	allTime := cur.Quantile("lat", nil, 0.5)
+	if allTime > 1 {
+		t.Errorf("all-time p50 = %v, want <= 1", allTime)
+	}
+
+	// An idle window (no new observations) is NaN, not a stale value.
+	if got := DeltaQuantile(prev, prev, "lat", nil, 0.5); !math.IsNaN(got) {
+		t.Errorf("DeltaQuantile over idle window = %v, want NaN", got)
+	}
+}
+
+// TestDeltaQuantileMatched: the window subtraction respects label
+// matching, so per-route quantiles ignore other routes' buckets.
+func TestDeltaQuantileMatched(t *testing.T) {
+	cur := mustParse(t, `
+lat_bucket{route="a",le="1"} 10
+lat_bucket{route="a",le="+Inf"} 10
+lat_bucket{route="b",le="8"} 10
+lat_bucket{route="b",le="+Inf"} 10
+`)
+	qa := cur.Quantile("lat", map[string]string{"route": "a"}, 0.99)
+	qb := cur.Quantile("lat", map[string]string{"route": "b"}, 0.99)
+	if qa > 1 || qb <= 1 {
+		t.Errorf("per-route quantiles leaked across routes: a=%v b=%v", qa, qb)
+	}
+}

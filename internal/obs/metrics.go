@@ -75,28 +75,48 @@ func (r *Registry) Histogram(name string) *Histogram {
 
 // Snapshot captures every metric's current value, with names sorted
 // inside each section so the manifest is stable for a given state.
+//
+// The registry lock guards only the name->handle tables, so Snapshot
+// copies those references under the lock and reads every value outside
+// it through the handles' own atomics. A scrape walking hundreds of
+// histogram buckets therefore never stalls a concurrent
+// Counter/Gauge/Histogram lookup on the request-recording path — a
+// /metrics scrape under load costs readers nothing but atomic loads.
 func (r *Registry) Snapshot() MetricsSnapshot {
 	var s MetricsSnapshot
 	if r == nil {
 		return s
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if len(r.counters) > 0 {
-		s.Counters = make(map[string]int64, len(r.counters))
-		for n, c := range r.counters {
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	r.mu.Unlock()
+
+	if len(counters) > 0 {
+		s.Counters = make(map[string]int64, len(counters))
+		for n, c := range counters {
 			s.Counters[n] = c.Value()
 		}
 	}
-	if len(r.gauges) > 0 {
-		s.Gauges = make(map[string]int64, len(r.gauges))
-		for n, g := range r.gauges {
+	if len(gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(gauges))
+		for n, g := range gauges {
 			s.Gauges[n] = g.Value()
 		}
 	}
-	if len(r.hists) > 0 {
-		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
-		for n, h := range r.hists {
+	if len(hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(hists))
+		for n, h := range hists {
 			s.Histograms[n] = h.Snapshot()
 		}
 	}

@@ -145,3 +145,68 @@ func TestSnapshotIsolation(t *testing.T) {
 		t.Fatalf("second snapshot = %d, want 2", s2.Counters["a"])
 	}
 }
+
+// TestSnapshotUnderLoad scrapes continuously while writers hammer the
+// registry — the /metrics pattern. The point (beyond -race cleanliness)
+// is that Snapshot holds the registry lock only to copy handle
+// references, so lookups on the hot path never stall behind a scrape
+// walking histogram buckets; and that every snapshot is internally
+// sane: cumulative counts only grow between scrapes.
+func TestSnapshotUnderLoad(t *testing.T) {
+	reg := NewRegistry()
+	const writers = 8
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			names := []string{"a", "b", "c", "d"}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := names[(w+i)%len(names)]
+				reg.Counter(n).Inc()
+				reg.Gauge(n).Set(int64(i))
+				reg.Histogram(n).Observe(float64(i%64) + 0.5)
+			}
+		}(w)
+	}
+
+	var lastTotal int64
+	for scrape := 0; scrape < 200; scrape++ {
+		s := reg.Snapshot()
+		var total int64
+		for _, v := range s.Counters {
+			total += v
+		}
+		if total < lastTotal {
+			t.Fatalf("scrape %d: counter total went backward: %d -> %d", scrape, lastTotal, total)
+		}
+		lastTotal = total
+		for name, h := range s.Histograms {
+			var bucketSum int64
+			for _, b := range h.Buckets {
+				bucketSum += b.Count
+			}
+			if bucketSum != h.Count {
+				t.Fatalf("scrape %d: histogram %q buckets sum to %d, count is %d",
+					scrape, name, bucketSum, h.Count)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	final := reg.Snapshot()
+	var total int64
+	for _, v := range final.Counters {
+		total += v
+	}
+	if total < lastTotal {
+		t.Fatalf("final total %d below last scrape %d", total, lastTotal)
+	}
+}

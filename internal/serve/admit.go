@@ -32,6 +32,12 @@ func newAdmitter(maxConcurrent, queueDepth int, queueWait time.Duration, run *ob
 	}
 }
 
+// queuedNow reports how many requests are waiting for an execution
+// slot — the admission signal /readyz and /metrics read.
+func (a *admitter) queuedNow() int64 {
+	return a.queued.Load()
+}
+
 // admit blocks until the request holds an execution slot, the queue
 // policy sheds it (ErrOverloaded), or ctx dies. On success the caller
 // must call release exactly once.

@@ -9,12 +9,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/gpu"
 	"repro/internal/obs"
+	"repro/internal/obs/export"
 	"repro/internal/subset"
 	"repro/internal/sweep"
 	"repro/internal/trace"
@@ -37,31 +39,71 @@ func (s *Server) routes() {
 	s.handle("sweep", "POST /v1/sweep", true, s.handleSweep)
 	s.handle("price", "POST /v1/price", true, s.handlePrice)
 	s.handle("stats", "GET /v1/stats", false, s.handleStats)
+	s.handle("metrics", "GET /metrics", false, s.handleMetrics)
 	s.handle("healthz", "GET /healthz", false, s.handleHealthz)
+	s.handle("readyz", "GET /readyz", false, s.handleReadyz)
+	s.handle("events", "GET /debug/events", false, s.handleEvents)
+	s.probes = map[string]bool{
+		"/metrics":      true,
+		"/healthz":      true,
+		"/readyz":       true,
+		"/debug/events": true,
+	}
 }
 
-// handle registers one route with the service middleware: per-route
-// latency histogram and merged span, admission control (when admit —
-// the compute-bearing routes), the per-request deadline, and the
-// span-detached observability context. Route names are threaded
-// explicitly because the request's matched pattern is not available at
-// this language level.
+// handle registers one route with the service middleware: trace-ID
+// assignment/propagation (TraceHeader, echoed on the response and
+// bound into the request context), per-route/per-status latency and
+// body-size histograms, the route's merged span, admission control
+// (when admit — the compute-bearing routes), the per-request deadline,
+// and the span-detached observability context. Route names are
+// threaded explicitly because the request's matched pattern is not
+// available at this language level.
 func (s *Server) handle(name, pattern string, admit bool, fn http.HandlerFunc) {
-	hist := s.run.Metrics().Histogram("serve.latency_ms." + name)
 	sp := s.run.Root().MergedChild("route." + name)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		tid, _ := requestTraceID(r)
+		rw := &statusWriter{ResponseWriter: w}
+		rw.Header().Set(TraceHeader, tid)
 		defer func() {
 			el := time.Since(start)
-			hist.Observe(float64(el.Microseconds()) / 1000)
+			status := http.StatusOK
+			if rw.wrote {
+				status = rw.status
+			}
+			code := strconv.Itoa(status)
+			m := s.run.Metrics()
+			m.Counter(export.Label("serve.http.requests", "route", name, "status", code)).Inc()
+			m.Histogram(export.Label("serve.http.latency_ms", "route", name, "status", code)).
+				Observe(float64(el.Microseconds()) / 1000)
+			if r.ContentLength > 0 {
+				m.Histogram(export.Label("serve.http.request_bytes", "route", name)).
+					Observe(float64(r.ContentLength))
+			}
+			m.Histogram(export.Label("serve.http.response_bytes", "route", name)).
+				Observe(float64(rw.bytes))
 			sp.AddItems(1)
 			sp.AddDuration(el)
+			if status >= 400 {
+				s.events.add(Event{
+					Time:    time.Now().UTC(),
+					TraceID: tid,
+					Route:   name,
+					Method:  r.Method,
+					Status:  status,
+					Class:   rw.Header().Get(errClassHeader),
+				})
+			}
+			s.run.Logger().Debug("request done",
+				"route", name, "status", status, "trace", tid,
+				"dur", el.Round(time.Microsecond))
 		}()
 
 		if admit {
 			release, err := s.adm.admit(r.Context())
 			if err != nil {
-				s.writeErr(w, err)
+				s.writeErr(rw, err)
 				return
 			}
 			defer release()
@@ -69,13 +111,16 @@ func (s *Server) handle(name, pattern string, admit bool, fn http.HandlerFunc) {
 
 		ctx, cancel := context.WithTimeout(r.Context(), s.opt.RequestTimeout)
 		defer cancel()
+		ctx = context.WithValue(ctx, traceKey{}, tid)
 		// Attach the run but detach span recording: per-request child
 		// spans would grow the manifest's stage tree without bound over
-		// a server's lifetime. Metrics and the logger still flow.
+		// a server's lifetime. Metrics and the logger still flow; the
+		// trace ID binds this request's telemetry to the route's merged
+		// span via logs and events instead of a per-request span.
 		if s.run != nil {
 			ctx = obs.ContextWithSpan(s.run.Context(ctx), nil)
 		}
-		fn(w, r.WithContext(ctx))
+		fn(rw, r.WithContext(ctx))
 	})
 }
 
@@ -152,7 +197,17 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	}
 	s.run.RecordDiagnostics(diag.Map())
 	if diag.Any() {
-		s.run.Logger().Warn("upload degraded", "workload", wl.Name, "diag", diag.String())
+		s.run.Logger().Warn("upload degraded", "workload", wl.Name, "diag", diag.String(),
+			"trace", TraceIDFrom(r.Context()))
+		s.events.add(Event{
+			Time:    time.Now().UTC(),
+			TraceID: TraceIDFrom(r.Context()),
+			Route:   "upload",
+			Method:  r.Method,
+			Status:  http.StatusCreated,
+			Class:   "degraded",
+			Detail:  diag.String(),
+		})
 	}
 	s.run.Logger().Info("workload registered", "workload", wl.Name,
 		"fingerprint", e.FP.String(), "frames", e.Summary.Frames, "created", created)
@@ -516,10 +571,14 @@ func (s *Server) handlePrice(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	m := s.run.Metrics()
+	ready, queued, _ := s.readiness()
 	stats := map[string]any{
 		"uptime_s":  time.Since(s.start).Seconds(),
 		"workloads": s.reg.len(),
 		"draining":  s.Draining(),
+		"ready":     ready,
+		"queued":    queued,
+		"inflight":  s.inflightN.Load(),
 		"requests":  m.Counter("serve.requests").Value(),
 		"admitted":  m.Counter("serve.admitted").Value(),
 		"shed":      m.Counter("serve.shed").Value(),
@@ -531,14 +590,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		stats["cache"] = s.opt.Cache.Stats()
 	}
 	s.writeJSON(w, http.StatusOK, stats)
-}
-
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.Draining() {
-		s.writeErr(w, ErrDraining)
-		return
-	}
-	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // runQuery is the execution path every compute query rides:

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/parallel"
 	"repro/internal/traceerr"
@@ -104,6 +105,8 @@ func classify(err error) (int, string) {
 // writeErr answers err as its mapped status with a JSON error body.
 // Shed/drain responses carry Retry-After; panic responses never leak
 // the panic value or stack to the client (they are logged server-side).
+// The class is mirrored onto a response header so the middleware can
+// record a classified event without re-parsing its own body.
 func (s *Server) writeErr(w http.ResponseWriter, err error) {
 	status, class := classify(err)
 	msg := err.Error()
@@ -111,9 +114,21 @@ func (s *Server) writeErr(w http.ResponseWriter, err error) {
 		msg = "internal error"
 	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(errClassHeader, class)
 	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", strconv.Itoa(int(s.opt.RetryAfter.Seconds())))
+		w.Header().Set("Retry-After", retryAfterValue(s.opt.RetryAfter))
 	}
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(errorBody{Error: msg, Class: class})
+}
+
+// retryAfterValue renders a Retry-After header in whole seconds,
+// never below 1 — a zero hint reads as "retry immediately", the
+// opposite of what a shedding server wants.
+func retryAfterValue(d time.Duration) string {
+	secs := int(d.Seconds())
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
 }

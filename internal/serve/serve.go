@@ -40,6 +40,7 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cache"
@@ -70,6 +71,12 @@ type Options struct {
 	// QueueWait bounds how long a queued request waits before it is
 	// shed with 429 (default 2s).
 	QueueWait time.Duration
+
+	// ReadyMaxQueue is the admission-queue depth at which /readyz
+	// starts answering 503 (default 3/4 of QueueDepth, at least 1):
+	// load balancers stop routing to the instance before arrivals
+	// start shedding, not after.
+	ReadyMaxQueue int
 
 	// RetryAfter is the hint sent with 429/503 responses (default 1s).
 	RetryAfter time.Duration
@@ -117,6 +124,12 @@ func (o Options) withDefaults() Options {
 	if o.QueueWait <= 0 {
 		o.QueueWait = 2 * time.Second
 	}
+	if o.ReadyMaxQueue <= 0 {
+		o.ReadyMaxQueue = o.QueueDepth * 3 / 4
+		if o.ReadyMaxQueue < 1 {
+			o.ReadyMaxQueue = 1
+		}
+	}
 	if o.RetryAfter <= 0 {
 		o.RetryAfter = time.Second
 	}
@@ -145,8 +158,17 @@ type Server struct {
 	adm    *admitter
 	bat    *batcher
 	flight *flightGroup
+	events *eventRing
 	mux    *http.ServeMux
 	start  time.Time
+
+	// probes names the telemetry paths that bypass the drain gate:
+	// liveness, readiness and metrics must stay observable while the
+	// server finishes in-flight work, or operators go blind exactly
+	// when they need the window most.
+	probes map[string]bool
+
+	inflightN atomic.Int64 // requests currently inside Handler
 
 	drainMu  sync.Mutex
 	draining bool
@@ -163,6 +185,7 @@ func New(opt Options) *Server {
 		adm:    newAdmitter(opt.MaxConcurrent, opt.QueueDepth, opt.QueueWait, opt.Run),
 		bat:    newBatcher(opt.BatchSize, opt.BatchMaxWait, opt.Workers, opt.Run),
 		flight: &flightGroup{},
+		events: newEventRing(256),
 		mux:    http.NewServeMux(),
 		start:  time.Now(),
 	}
@@ -172,16 +195,21 @@ func New(opt Options) *Server {
 }
 
 // Handler returns the server's HTTP handler: panic containment and
-// in-flight tracking wrap every route.
+// in-flight tracking wrap every route. Telemetry probes (/healthz,
+// /readyz, /metrics, /debug/events) skip the drain gate and the
+// in-flight group — they are read-only against atomics and must keep
+// answering while the server drains — but still ride the panic shield.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		release, ok := s.track()
-		if !ok {
-			s.writeErr(w, ErrDraining)
-			return
+		if !s.probes[r.URL.Path] {
+			release, ok := s.track()
+			if !ok {
+				s.writeErr(w, ErrDraining)
+				return
+			}
+			defer release()
+			s.run.Metrics().Counter("serve.requests").Inc()
 		}
-		defer release()
-		s.run.Metrics().Counter("serve.requests").Inc()
 
 		sw := &statusWriter{ResponseWriter: w}
 		if err := parallel.Call(-1, func() error {
@@ -210,7 +238,11 @@ func (s *Server) track() (release func(), ok bool) {
 		return nil, false
 	}
 	s.inflight.Add(1)
-	return func() { s.inflight.Done() }, true
+	s.inflightN.Add(1)
+	return func() {
+		s.inflightN.Add(-1)
+		s.inflight.Done()
+	}, true
 }
 
 // Draining reports whether Drain has begun.
@@ -251,11 +283,13 @@ func (s *Server) Drain(ctx context.Context) error {
 	return nil
 }
 
-// statusWriter records whether and what a handler answered, for panic
-// containment and latency accounting.
+// statusWriter records whether and what a handler answered, and how
+// many body bytes it wrote — for panic containment and for the
+// middleware's latency/size accounting.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	bytes  int64
 	wrote  bool
 }
 
@@ -272,5 +306,7 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 		w.wrote = true
 		w.status = http.StatusOK
 	}
-	return w.ResponseWriter.Write(p)
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
 }

@@ -453,7 +453,9 @@ func TestPanicContainment(t *testing.T) {
 }
 
 // TestGracefulDrain: in-flight requests finish, new arrivals get 503 +
-// Retry-After, and Drain returns once the last request completes.
+// Retry-After, /readyz flips to 503 before in-flight requests finish
+// while /healthz (liveness) stays 200, and Drain returns once the last
+// request completes.
 func TestGracefulDrain(t *testing.T) {
 	s := New(Options{Run: obs.NewRun("serve-test")})
 	inHandler := make(chan struct{})
@@ -478,17 +480,47 @@ func TestGracefulDrain(t *testing.T) {
 		drainDone <- s.Drain(ctx)
 	}()
 
-	// Give Drain a moment to flip the draining flag, then probe.
+	// Give Drain a moment to flip the draining flag, then probe. The
+	// slow request is still in flight: readiness must already be gone
+	// (load balancers stop sending now), liveness must hold (the
+	// process is alive and finishing work), and application routes
+	// must answer 503 + Retry-After.
 	deadline := time.Now().Add(time.Second)
 	for !s.Draining() && time.Now().Before(deadline) {
 		time.Sleep(5 * time.Millisecond)
 	}
-	rec := do(h, "GET", "/healthz", nil)
+	rec := do(h, "GET", "/v1/stats", nil)
 	if rec.Code != http.StatusServiceUnavailable {
-		t.Errorf("request during drain: %d, want 503", rec.Code)
+		t.Errorf("application request during drain: %d, want 503", rec.Code)
 	}
 	if rec.Header().Get("Retry-After") == "" {
 		t.Error("503 during drain lacks Retry-After")
+	}
+	rec = do(h, "GET", "/readyz", nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("readyz during drain: %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("readyz 503 during drain lacks Retry-After")
+	}
+	var rz struct {
+		Ready    bool     `json:"ready"`
+		Draining bool     `json:"draining"`
+		Reasons  []string `json:"reasons"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &rz); err != nil {
+		t.Fatalf("readyz body: %v", err)
+	}
+	if rz.Ready || !rz.Draining || len(rz.Reasons) == 0 {
+		t.Errorf("readyz body during drain = %+v, want not-ready with reasons", rz)
+	}
+	rec = do(h, "GET", "/healthz", nil)
+	if rec.Code != http.StatusOK {
+		t.Errorf("healthz during drain: %d, want 200 (liveness)", rec.Code)
+	}
+	rec = do(h, "GET", "/metrics", nil)
+	if rec.Code != http.StatusOK {
+		t.Errorf("metrics during drain: %d, want 200 (scrapable while draining)", rec.Code)
 	}
 
 	if err := <-drainDone; err != nil {

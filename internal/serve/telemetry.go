@@ -1,0 +1,218 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/obs/export"
+)
+
+// TraceHeader carries a request's trace ID: supplied by the client
+// (subsetload sends one per logical request, constant across retries,
+// so server logs correlate a retry storm back to one caller) or
+// assigned by the middleware. The middleware always echoes it on the
+// response, binds it into the request context, and stamps it onto log
+// lines and /debug/events entries. Trace IDs live only in telemetry —
+// never in pipeline output — so they cannot perturb results.
+const TraceHeader = "X-Subsetd-Trace-Id"
+
+// errClassHeader mirrors the error body's machine-readable class onto
+// a response header, so the middleware (which sees only the written
+// response, not the error value) can classify events without
+// re-parsing its own JSON.
+const errClassHeader = "X-Subsetd-Error-Class"
+
+type traceKey struct{}
+
+// TraceIDFrom returns the request's trace ID bound by the middleware
+// ("" outside a request).
+func TraceIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}
+
+// requestTraceID returns the client-supplied trace ID when it is
+// usable, or a freshly generated one. supplied reports which.
+func requestTraceID(r *http.Request) (id string, supplied bool) {
+	if id := r.Header.Get(TraceHeader); validTraceID(id) {
+		return id, true
+	}
+	return newTraceID(), false
+}
+
+// validTraceID accepts short tokens of header-and-logfmt-safe bytes;
+// anything else (too long, empty, exotic characters) is replaced
+// rather than propagated into logs and events.
+func validTraceID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		ok := c >= '0' && c <= '9' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+			c == '-' || c == '_' || c == '.'
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func newTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Entropy failure must not fail the request; a constant marker
+		// still identifies "generated, not supplied".
+		return "t-0000000000000000"
+	}
+	return "t-" + hex.EncodeToString(b[:])
+}
+
+// Event is one entry in the /debug/events ring: a classified request
+// failure or a degradation diagnostic, with enough context (route,
+// status, class, trace ID) to chase it through logs without grepping
+// the full access stream.
+type Event struct {
+	Time    time.Time `json:"time"`
+	TraceID string    `json:"trace_id"`
+	Route   string    `json:"route"`
+	Method  string    `json:"method"`
+	Status  int       `json:"status"`
+	Class   string    `json:"class"`
+	Detail  string    `json:"detail,omitempty"`
+}
+
+// eventRing is a bounded ring of recent events: constant memory over
+// any uptime, newest-first readout. A mutex (not atomics) is fine
+// here — events record failures, not the per-request hot path.
+type eventRing struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int
+	n    int
+}
+
+func newEventRing(capacity int) *eventRing {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &eventRing{buf: make([]Event, capacity)}
+}
+
+func (e *eventRing) add(ev Event) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.buf[e.next] = ev
+	e.next = (e.next + 1) % len(e.buf)
+	if e.n < len(e.buf) {
+		e.n++
+	}
+	e.mu.Unlock()
+}
+
+// list returns the retained events, newest first.
+func (e *eventRing) list() []Event {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Event, 0, e.n)
+	for i := 1; i <= e.n; i++ {
+		out = append(out, e.buf[(e.next-i+len(e.buf))%len(e.buf)])
+	}
+	return out
+}
+
+// readiness evaluates the /readyz gate: not ready once draining has
+// begun, and not ready while the admission queue has backed up to
+// ReadyMaxQueue — the load balancer stops sending before arrivals
+// start shedding, instead of discovering overload via a 429 storm.
+func (s *Server) readiness() (ready bool, queued int64, reasons []string) {
+	queued = s.adm.queuedNow()
+	if s.Draining() {
+		reasons = append(reasons, "draining")
+	}
+	if queued >= int64(s.opt.ReadyMaxQueue) {
+		reasons = append(reasons, "admission queue backed up")
+	}
+	return len(reasons) == 0, queued, reasons
+}
+
+// handleHealthz is pure liveness: the process is up and answering.
+// It stays 200 during drain — the process is alive and finishing work;
+// taking traffic away is /readyz's job, restarts are this one's.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"uptime_s": time.Since(s.start).Seconds(),
+		"draining": s.Draining(),
+	})
+}
+
+// handleReadyz is the load-balancer gate, wired to the drain flag and
+// the admission-queue depth. 503 responses carry Retry-After.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	ready, queued, reasons := s.readiness()
+	body := map[string]any{
+		"ready":           ready,
+		"draining":        s.Draining(),
+		"queued":          queued,
+		"ready_max_queue": s.opt.ReadyMaxQueue,
+	}
+	if ready {
+		s.writeJSON(w, http.StatusOK, body)
+		return
+	}
+	body["reasons"] = reasons
+	w.Header().Set("Retry-After", retryAfterValue(s.opt.RetryAfter))
+	s.writeJSON(w, http.StatusServiceUnavailable, body)
+}
+
+// handleEvents serves the diagnostic ring, newest first.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	events := s.events.list()
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"capacity": len(s.events.buf),
+		"count":    len(events),
+		"events":   events,
+	})
+}
+
+// handleMetrics renders the registry plus runtime and server state in
+// Prometheus text exposition format. Everything it reads is an atomic
+// load or a lock held only for map-reference copying, so scraping
+// under full load cannot stall request recording — and it writes to
+// telemetry structures not at all, which is what the
+// scrape-under-load determinism test pins.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	ready, queued, _ := s.readiness()
+	fams := export.Families(s.run.Metrics().Snapshot(), "subsetd_")
+	fams = append(fams, export.Runtime()...)
+	fams = append(fams,
+		export.Scalar("subsetd_up", "gauge", "Whether the daemon is answering (always 1 when scrapable).", 1),
+		export.Scalar("subsetd_uptime_seconds", "gauge", "Seconds since the server started.", time.Since(s.start).Seconds()),
+		export.Scalar("subsetd_ready", "gauge", "1 when /readyz would answer 200.", boolGauge(ready)),
+		export.Scalar("subsetd_draining", "gauge", "1 once graceful drain has begun.", boolGauge(s.Draining())),
+		export.Scalar("subsetd_inflight_requests", "gauge", "Requests currently being served.", float64(s.inflightN.Load())),
+		export.Scalar("subsetd_admission_queue_depth", "gauge", "Requests waiting for an execution slot.", float64(queued)),
+		export.Scalar("subsetd_admission_queue_capacity", "gauge", "Queue slots before arrivals shed.", float64(s.opt.QueueDepth)),
+		export.Scalar("subsetd_workloads_registered", "gauge", "Workloads in the registry.", float64(s.reg.len())),
+	)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	export.Write(w, fams)
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

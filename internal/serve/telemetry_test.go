@@ -1,0 +1,314 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs/export"
+	"repro/internal/tracetest"
+)
+
+func doHdr(h http.Handler, method, path string, body []byte, hdr map[string]string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(method, path, bytes.NewReader(body))
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestTraceIDPropagation: a usable client-supplied trace ID is echoed
+// verbatim; a missing or hostile one is replaced with a generated ID,
+// distinct per request.
+func TestTraceIDPropagation(t *testing.T) {
+	s := newTestServer(t, Options{})
+	h := s.Handler()
+
+	supplied := doHdr(h, "GET", "/healthz", nil, map[string]string{TraceHeader: "load-42.retry-3"})
+	if got := supplied.Header().Get(TraceHeader); got != "load-42.retry-3" {
+		t.Errorf("supplied trace ID not propagated: got %q", got)
+	}
+
+	hostile := doHdr(h, "GET", "/healthz", nil, map[string]string{TraceHeader: "evil injection\n{}"})
+	if got := hostile.Header().Get(TraceHeader); got == "evil injection\n{}" || got == "" {
+		t.Errorf("hostile trace ID propagated or dropped: got %q", got)
+	}
+
+	gen1 := do(h, "GET", "/healthz", nil).Header().Get(TraceHeader)
+	gen2 := do(h, "GET", "/healthz", nil).Header().Get(TraceHeader)
+	if gen1 == "" || gen2 == "" {
+		t.Fatalf("no trace ID generated: %q, %q", gen1, gen2)
+	}
+	if gen1 == gen2 {
+		t.Errorf("generated trace IDs collide: %q", gen1)
+	}
+	if !validTraceID(gen1) {
+		t.Errorf("generated trace ID %q fails its own validator", gen1)
+	}
+}
+
+// TestPerRouteStatusLabels: the middleware records labeled counter and
+// histogram families keyed by route and status.
+func TestPerRouteStatusLabels(t *testing.T) {
+	s := newTestServer(t, Options{})
+	h := s.Handler()
+	do(h, "GET", "/healthz", nil)
+	// Unknown workload: a classified 404 on the subset route.
+	do(h, "POST", "/v1/subset", []byte(`{"workload":"ffff"}`))
+
+	snap := s.run.Metrics().Snapshot()
+	wantCounters := []string{
+		export.Label("serve.http.requests", "route", "healthz", "status", "200"),
+		export.Label("serve.http.requests", "route", "subset", "status", "404"),
+	}
+	for _, k := range wantCounters {
+		if snap.Counters[k] != 1 {
+			t.Errorf("counter %q = %d, want 1 (have %v)", k, snap.Counters[k], keysOf(snap.Counters))
+		}
+	}
+	hk := export.Label("serve.http.latency_ms", "route", "subset", "status", "404")
+	if hs, ok := snap.Histograms[hk]; !ok || hs.Count != 1 {
+		t.Errorf("histogram %q missing or empty (have %v)", hk, keysOf(snap.Histograms))
+	}
+	rk := export.Label("serve.http.response_bytes", "route", "subset")
+	if hs, ok := snap.Histograms[rk]; !ok || hs.Count != 1 || hs.Sum <= 0 {
+		t.Errorf("response-size histogram %q missing or empty", rk)
+	}
+}
+
+func keysOf[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestMetricsExposition: /metrics renders valid Prometheus text that
+// the package's own parser accepts, with the request, admission, cache
+// and runtime families the watch CLI and CI scrape checks rely on.
+func TestMetricsExposition(t *testing.T) {
+	s := newTestServer(t, Options{})
+	h := s.Handler()
+	fp := upload(t, h, streamBody(t, tracetest.Tiny()))
+	rec := do(h, "POST", "/v1/subset", []byte(fmt.Sprintf(`{"workload":%q}`, fp)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("subset: %d: %s", rec.Code, rec.Body)
+	}
+
+	mrec := do(h, "GET", "/metrics", nil)
+	if mrec.Code != http.StatusOK {
+		t.Fatalf("metrics: %d", mrec.Code)
+	}
+	if ct := mrec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics Content-Type = %q, want text/plain exposition", ct)
+	}
+	scrape, err := export.Parse(bytes.NewReader(mrec.Body.Bytes()))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, mrec.Body)
+	}
+	for _, fam := range []string{
+		"subsetd_serve_http_requests_total",
+		"subsetd_serve_http_latency_ms",
+		"subsetd_serve_requests_total",
+		"subsetd_serve_admitted_total",
+		"subsetd_up",
+		"subsetd_ready",
+		"subsetd_admission_queue_depth",
+		"subsetd_workloads_registered",
+		"go_goroutines",
+		"go_memstats_heap_alloc_bytes",
+		"go_gc_pause_seconds_total",
+	} {
+		if !scrape.Has(fam) {
+			t.Errorf("scrape missing family %q", fam)
+		}
+	}
+	if v := scrape.Total("subsetd_up", nil); v != 1 {
+		t.Errorf("subsetd_up = %v, want 1", v)
+	}
+	if v := scrape.Total("subsetd_workloads_registered", nil); v != 1 {
+		t.Errorf("subsetd_workloads_registered = %v, want 1", v)
+	}
+	// The per-route family must carry the route label the watch CLI
+	// groups by.
+	routes := scrape.LabelValues("subsetd_serve_http_requests_total", "route")
+	if len(routes) == 0 {
+		t.Error("no route labels on subsetd_serve_http_requests_total")
+	}
+	// Latency quantiles must be computable from one scrape (and hence
+	// from any two via DeltaQuantile).
+	q := scrape.Quantile("subsetd_serve_http_latency_ms", map[string]string{"route": "subset"}, 0.99)
+	if !(q >= 0) { // NaN fails this
+		t.Errorf("p99 from scrape = %v, want a finite value", q)
+	}
+}
+
+// TestReadyzQueueBackpressure: /readyz flips to 503 once the admission
+// queue backs up to ReadyMaxQueue, and recovers when it clears.
+func TestReadyzQueueBackpressure(t *testing.T) {
+	s := newTestServer(t, Options{
+		MaxConcurrent: 1,
+		QueueDepth:    4,
+		ReadyMaxQueue: 1,
+		QueueWait:     10 * time.Second,
+	})
+	release := make(chan struct{})
+	s.handle("hold", "GET /holdtest", true, func(w http.ResponseWriter, r *http.Request) {
+		<-release
+		s.writeJSON(w, http.StatusOK, map[string]string{"ok": "true"})
+	})
+	h := s.Handler()
+
+	if rec := do(h, "GET", "/readyz", nil); rec.Code != http.StatusOK {
+		t.Fatalf("readyz idle: %d, want 200", rec.Code)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ { // one holds the slot, one queues
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			do(h, "GET", "/holdtest", nil)
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.adm.queuedNow() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s.adm.queuedNow() < 1 {
+		t.Fatal("queue never backed up")
+	}
+	rec := do(h, "GET", "/readyz", nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("readyz with backed-up queue: %d, want 503", rec.Code)
+	}
+
+	close(release)
+	wg.Wait()
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if rec := do(h, "GET", "/readyz", nil); rec.Code == http.StatusOK {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Error("readyz never recovered after the queue cleared")
+}
+
+// TestEventsEndpoint: classified failures land in /debug/events newest
+// first with their trace IDs, and the ring stays bounded.
+func TestEventsEndpoint(t *testing.T) {
+	s := newTestServer(t, Options{})
+	h := s.Handler()
+
+	rec := doHdr(h, "POST", "/v1/subset", []byte(`{"workload":"ffff"}`),
+		map[string]string{TraceHeader: "trace-events-1"})
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("setup: %d, want 404", rec.Code)
+	}
+
+	erec := do(h, "GET", "/debug/events", nil)
+	if erec.Code != http.StatusOK {
+		t.Fatalf("events: %d", erec.Code)
+	}
+	var body struct {
+		Capacity int     `json:"capacity"`
+		Events   []Event `json:"events"`
+	}
+	if err := json.Unmarshal(erec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Events) == 0 {
+		t.Fatal("no events recorded for a classified 404")
+	}
+	ev := body.Events[0]
+	if ev.Route != "subset" || ev.Status != http.StatusNotFound ||
+		ev.Class != "unknown_workload" || ev.TraceID != "trace-events-1" {
+		t.Errorf("event = %+v, want subset/404/unknown_workload/trace-events-1", ev)
+	}
+}
+
+func TestEventRingBounded(t *testing.T) {
+	r := newEventRing(4)
+	for i := 0; i < 10; i++ {
+		r.add(Event{Status: i})
+	}
+	got := r.list()
+	if len(got) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(got))
+	}
+	for i, ev := range got { // newest first: 9, 8, 7, 6
+		if ev.Status != 9-i {
+			t.Errorf("event[%d].Status = %d, want %d", i, ev.Status, 9-i)
+		}
+	}
+}
+
+// TestScrapeUnderLoadDeterminism extends the obs-on/off byte-identity
+// guard to live telemetry: a server being hammered with /metrics,
+// /readyz and /debug/events scrapes must produce query responses
+// byte-identical to an unscraped server's. Telemetry reads state; it
+// must never write anything results depend on.
+func TestScrapeUnderLoadDeterminism(t *testing.T) {
+	run := func(scrape bool) [][]byte {
+		s := newTestServer(t, Options{})
+		h := s.Handler()
+		fp := upload(t, h, streamBody(t, tracetest.Tiny()))
+
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		if scrape {
+			for _, path := range []string{"/metrics", "/readyz", "/debug/events", "/v1/stats", "/healthz"} {
+				wg.Add(1)
+				go func(path string) {
+					defer wg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+							do(h, "GET", path, nil)
+						}
+					}
+				}(path)
+			}
+		}
+
+		req := []byte(fmt.Sprintf(`{"workload":%q,"validate":true}`, fp))
+		out := make([][]byte, 0, 3)
+		for i := 0; i < 3; i++ {
+			rec := do(h, "POST", "/v1/subset", req)
+			if rec.Code != http.StatusOK {
+				t.Fatalf("subset under scrape=%v: %d: %s", scrape, rec.Code, rec.Body)
+			}
+			out = append(out, append([]byte(nil), rec.Body.Bytes()...))
+		}
+		close(stop)
+		wg.Wait()
+		return out
+	}
+
+	plain := run(false)
+	scraped := run(true)
+	for i := range plain {
+		if !bytes.Equal(plain[i], scraped[i]) {
+			t.Errorf("query %d differs under scrape load:\nplain:   %s\nscraped: %s",
+				i, plain[i], scraped[i])
+		}
+	}
+	// And within each server, repeats must agree with themselves.
+	for i := 1; i < len(scraped); i++ {
+		if !bytes.Equal(scraped[0], scraped[i]) {
+			t.Errorf("scraped server: query %d differs from query 0", i)
+		}
+	}
+}
