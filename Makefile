@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 vet lint build test cover cover-cluster cover-export fuzz-seeds bench bench-parallel bench-cache bench-hotpath bench-hotpath-check serve-smoke bench-serve clean
+.PHONY: tier1 vet lint build test cover cover-cluster cover-export cover-shard fuzz-seeds bench bench-parallel bench-cache bench-hotpath bench-hotpath-check bench-shard bench-shard-check serve-smoke bench-serve clean
 
 # BENCHTIME tunes the hot-path benchmark arms; 1s x 3 counts balances
 # noise robustness (benchjson keeps the fastest repetition) against CI
@@ -32,7 +32,7 @@ test:
 	$(GO) test -race ./...
 
 fuzz-seeds:
-	$(GO) test -run Fuzz -v ./internal/trace/ ./internal/cache/ ./internal/serve/ ./internal/cluster/
+	$(GO) test -run Fuzz -v ./internal/trace/ ./internal/cache/ ./internal/serve/ ./internal/cluster/ ./internal/shard/
 
 # cover enforces the result cache's coverage floor: the subsystem that
 # silently serves stale or corrupt results when wrong earns the
@@ -60,6 +60,16 @@ cover-export:
 	@total=$$($(GO) tool cover -func=cover-export.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
 	echo "internal/obs/export coverage: $$total%"; \
 	awk -v t="$$total" 'BEGIN { exit !(t + 0 >= 70) }' || { echo "FAIL: internal/obs/export coverage $$total% below the 70% gate"; exit 1; }
+
+# cover-shard gates the distributed sharding layer at 85% — stricter
+# than the other floors because a wrong shard plan, claim or merge
+# silently produces a run manifest that is not what the sequential
+# path would have computed, defeating the layer's entire contract.
+cover-shard:
+	$(GO) test -coverprofile=cover-shard.out ./internal/shard/
+	@total=$$($(GO) tool cover -func=cover-shard.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	echo "internal/shard coverage: $$total%"; \
+	awk -v t="$$total" 'BEGIN { exit !(t + 0 >= 85) }' || { echo "FAIL: internal/shard coverage $$total% below the 85% gate"; exit 1; }
 
 # bench runs every benchmark (experiments + parallel engine) and
 # records the parallel speedup curves in BENCH_parallel.json.
@@ -101,6 +111,24 @@ bench-hotpath-check:
 	$(GO) test -bench='^BenchmarkHotPath$$' -run '^$$' -benchtime $(BENCHTIME) -count $(BENCHCOUNT) . | $(GO) run ./cmd/benchjson -match '^HotPath' -o bench-hotpath-new.json
 	$(GO) run ./cmd/benchguard -in bench-hotpath-new.json -baseline BENCH_hotpath.json -max-regress 0.25 \
 	  -min HotPath/exact=0.9 -min HotPath/bucketed=3.5 -min HotPath/streaming=1.3
+
+# bench-shard regenerates BENCH_shard.json: the 32-config grid sweep
+# split across 2/4/8 shard workers versus the sequential path
+# (path=naive). The arms report the distributed CRITICAL PATH (slowest
+# worker + merge) as ns/op, so the speedup curve is core-count
+# independent and the gate transfers across CI hosts.
+bench-shard:
+	$(GO) test -bench='^BenchmarkShardSweep$$' -run '^$$' -benchtime $(BENCHTIME) -count $(BENCHCOUNT) . | tee bench-shard.out
+	$(GO) run ./cmd/benchjson -match '^ShardSweep' -o BENCH_shard.json < bench-shard.out
+
+# bench-shard-check is the CI scaling gate: 25% tolerance against the
+# checked-in curve plus absolute floors — sharding must keep paying at
+# every width (>= 1.5x at 2, >= 2x at 4, >= 3x at 8; the per-worker
+# fixed cost of fingerprinting and planning bounds it away from ideal).
+bench-shard-check:
+	$(GO) test -bench='^BenchmarkShardSweep$$' -run '^$$' -benchtime $(BENCHTIME) -count $(BENCHCOUNT) . | $(GO) run ./cmd/benchjson -match '^ShardSweep' -o bench-shard-new.json
+	$(GO) run ./cmd/benchguard -in bench-shard-new.json -baseline BENCH_shard.json -max-regress 0.25 \
+	  -min ShardSweep/shards2=1.5 -min ShardSweep/shards4=2.0 -min ShardSweep/shards8=3.0
 
 # serve-smoke is the service's end-to-end gate: build subsetd, start
 # it on a loopback port, upload a synthetic workload, require a cold
@@ -154,5 +182,5 @@ bench-serve:
 
 clean:
 	$(GO) clean ./...
-	rm -f bench.out bench-cache.out bench-hotpath.out bench-hotpath-new.json cover.out cover-cluster.out cover-export.out BENCH_parallel.json BENCH_cache.json
+	rm -f bench.out bench-cache.out bench-hotpath.out bench-hotpath-new.json bench-shard.out bench-shard-new.json cover.out cover-cluster.out cover-export.out cover-shard.out BENCH_parallel.json BENCH_cache.json
 	rm -rf serve-scratch

@@ -1,0 +1,85 @@
+// Scaling benchmark for the distributed sweep sharding: a 32-config
+// grid sweep priced sequentially (path=naive) versus split across 2,
+// 4 and 8 shard workers sharing one cache directory. Because this
+// container has one core, the sharded arms measure the DISTRIBUTED
+// CRITICAL PATH — each worker runs to completion on its own (one
+// machine per shard, which is the deployment model), the critical
+// path is the slowest worker's wall time plus the merge, and that
+// number is reported as ns/op via b.ReportMetric (overriding the
+// harness's sum-of-all-work timing). The metric is core-count
+// independent, so the BENCH_shard.json gate transfers across CI
+// hosts. `make bench-shard` records speedup_vs_naive per shard count;
+// the acceptance floor is >= 3x at 8 shards (the measured value is
+// close to the ideal 8x because per-shard work dominates the merge).
+package repro_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/gpu"
+	"repro/internal/shard"
+	"repro/internal/sweep"
+)
+
+func BenchmarkShardSweep(b *testing.B) {
+	w := suite(b)[0]
+	cfgs := sweep.Grid(gpu.BaseConfig(),
+		[]float64{0.5, 0.7, 0.9, 1.1, 1.3, 1.5, 1.7, 2.0},
+		[]float64{0.6, 0.8, 1.0, 1.2})
+
+	b.Run("path=naive", func(b *testing.B) {
+		var total time.Duration
+		for i := 0; i < b.N; i++ {
+			c, err := cache.New(cache.Config{Dir: b.TempDir()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			t0 := time.Now()
+			if _, err := shard.RunSequential(context.Background(), c, w, cfgs); err != nil {
+				b.Fatal(err)
+			}
+			c.Flush()
+			total += time.Since(t0)
+		}
+		b.ReportMetric(float64(total.Nanoseconds())/float64(b.N), "ns/op")
+	})
+
+	for _, n := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("path=shards%d", n), func(b *testing.B) {
+			var total time.Duration
+			for i := 0; i < b.N; i++ {
+				cacheDir := b.TempDir()
+				manifests := make([]*shard.Manifest, n)
+				var critical time.Duration
+				for s := 0; s < n; s++ {
+					c, err := cache.New(cache.Config{Dir: cacheDir})
+					if err != nil {
+						b.Fatal(err)
+					}
+					wk := shard.NewWorker(shard.WorkerOptions{Cache: c})
+					t0 := time.Now()
+					m, _, err := wk.Run(context.Background(), w, cfgs, shard.Spec{Index: s, Count: n})
+					if err != nil {
+						b.Fatal(err)
+					}
+					c.Flush()
+					if el := time.Since(t0); el > critical {
+						critical = el
+					}
+					manifests[s] = m
+				}
+				t0 := time.Now()
+				if _, err := shard.Merge(manifests); err != nil {
+					b.Fatal(err)
+				}
+				critical += time.Since(t0)
+				total += critical
+			}
+			b.ReportMetric(float64(total.Nanoseconds())/float64(b.N), "ns/op")
+		})
+	}
+}

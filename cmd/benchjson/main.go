@@ -89,7 +89,7 @@ var (
 	cpuSuffix = regexp.MustCompile(`-\d+$`)
 	workersRe = regexp.MustCompile(`(?:^|/)workers=(\d+)(?:$|/)`)
 	modeRe    = regexp.MustCompile(`(?:^|/)mode=(cold|warm)(?:$|/)`)
-	pathRe    = regexp.MustCompile(`(?:^|/)path=([a-z]+)(?:$|/)`)
+	pathRe    = regexp.MustCompile(`(?:^|/)path=([a-z][a-z0-9]*)(?:$|/)`)
 )
 
 func parseLine(line string) (Benchmark, bool) {

@@ -105,6 +105,18 @@ func TestParseLinePath(t *testing.T) {
 	if b, _ := parseLine("BenchmarkPlain-8 \t 50\t 2000 ns/op"); b.Path != "" {
 		t.Errorf("path = %q on a pathless benchmark", b.Path)
 	}
+	// Digits after the first letter: the shard scaling arms are named
+	// path=shards2/4/8.
+	b, ok = parseLine("BenchmarkShardSweep/path=shards8-8 \t 10\t 9000000 ns/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if b.Path != "shards8" {
+		t.Errorf("path = %q, want shards8", b.Path)
+	}
+	if b, _ := parseLine("Benchmark2Fast/path=2fast-8 \t 10\t 90 ns/op"); b.Path != "" {
+		t.Errorf("path = %q: a path may not start with a digit", b.Path)
+	}
 }
 
 func TestNaiveSpeedups(t *testing.T) {

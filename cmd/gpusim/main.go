@@ -14,6 +14,20 @@
 // repeat pricing of the same trace on the same config is then served
 // from the cache instead of repriced, with byte-identical output.
 //
+// Grid sweeps and distributed sharding:
+//
+//	gpusim -trace game.trace -grid-core 0.5,1.0,1.5 -grid-mem 0.8,1.2
+//	gpusim -trace game.trace -grid-core ... -shard 2/4 -cache-dir /shared/cache -shard-dir /shared/manifests
+//	gpusim -merge -shard-dir /shared/manifests -sweep-out run.json
+//
+// The first form prices the whole grid in-process and prints the sweep
+// table. The second prices only shard 2 of 4 — any number of gpusim
+// processes (one per shard, on any machines sharing the cache and
+// manifest directories) coordinate through content-addressed claims,
+// each writing a per-shard manifest. The third folds the manifests
+// back into one run manifest, byte-identical to what the first form
+// would have produced.
+//
 // Observability: -log-level {debug,info,warn,error,off} enables
 // structured stderr logging, -manifest out.json exports the run
 // manifest (stages, metrics, diagnostics, input checksum), -pprof-dir
@@ -28,6 +42,8 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -36,6 +52,7 @@ import (
 	"repro/internal/dcmath"
 	"repro/internal/gpu"
 	"repro/internal/obs"
+	"repro/internal/shard"
 	"repro/internal/sweep"
 	"repro/internal/trace"
 )
@@ -51,6 +68,14 @@ type config struct {
 	workers   int
 	cacheDir  string
 	cacheMem  int
+
+	gridCore   string
+	gridMem    string
+	shard      string
+	shardDir   string
+	shardLease time.Duration
+	merge      bool
+	sweepOut   string
 
 	logLevel string
 	manifest string
@@ -71,12 +96,19 @@ func main() {
 	flag.IntVar(&cfg.workers, "workers", runtime.GOMAXPROCS(0), "max goroutines for frame pricing (output is identical at any count)")
 	flag.StringVar(&cfg.cacheDir, "cache-dir", "", "directory for the on-disk result cache (empty = memory-only when -cache-mem is set, else no caching)")
 	flag.IntVar(&cfg.cacheMem, "cache-mem", 0, "in-memory result cache budget in MiB (0 with no -cache-dir disables caching)")
+	flag.StringVar(&cfg.gridCore, "grid-core", "", "comma-separated core clocks (GHz) for a grid sweep (empty with -grid-mem set = default ladder)")
+	flag.StringVar(&cfg.gridMem, "grid-mem", "", "comma-separated memory clocks (GHz) for a grid sweep (default 1.0)")
+	flag.StringVar(&cfg.shard, "shard", "", "price only shard i/n of the grid (e.g. 2/4); requires -cache-dir and -shard-dir")
+	flag.StringVar(&cfg.shardDir, "shard-dir", "", "directory for per-shard manifests (written by -shard, read by -merge)")
+	flag.DurationVar(&cfg.shardLease, "shard-lease", 30*time.Second, "how long another worker's claim is believed before it is treated as dead")
+	flag.BoolVar(&cfg.merge, "merge", false, "fold the per-shard manifests in -shard-dir into the run manifest (no -trace needed)")
+	flag.StringVar(&cfg.sweepOut, "sweep-out", "", "write the sweep's run manifest (JSON) to this file")
 	flag.StringVar(&cfg.logLevel, "log-level", "off", "structured logging to stderr: debug, info, warn, error or off")
 	flag.StringVar(&cfg.manifest, "manifest", "", "write the run manifest (stages, metrics, diagnostics, checksums) to this JSON file")
 	flag.StringVar(&cfg.pprofDir, "pprof-dir", "", "write cpu.pprof and heap.pprof to this directory")
 	flag.Parse()
 	cfg.out = os.Stdout
-	if cfg.tracePath == "" {
+	if cfg.tracePath == "" && !cfg.merge {
 		fmt.Fprintln(os.Stderr, "gpusim: -trace is required")
 		flag.Usage()
 		os.Exit(2)
@@ -102,7 +134,14 @@ func execute(ctx context.Context, cfg config) error {
 	run.SetWorkers(cfg.workers)
 	ctx = run.Context(ctx)
 
-	err = price(ctx, run, cfg)
+	switch {
+	case cfg.merge:
+		err = mergeShards(ctx, cfg)
+	case cfg.gridCore != "" || cfg.gridMem != "" || cfg.shard != "":
+		err = sweepGrid(ctx, run, cfg)
+	default:
+		err = price(ctx, run, cfg)
+	}
 	if perr := stopProf(); err == nil {
 		err = perr
 	}
@@ -112,19 +151,21 @@ func execute(ctx context.Context, cfg config) error {
 	return err
 }
 
-func price(ctx context.Context, run *obs.Run, cfg config) error {
+// loadWorkload decodes (and under -lenient, sanitizes) the input
+// trace — the shared front half of every pricing mode.
+func loadWorkload(ctx context.Context, run *obs.Run, cfg config) (*trace.Workload, error) {
 	run.RecordFile("input", cfg.tracePath)
 	_, dsp := obs.StartSpan(ctx, "decode-trace")
 	f, err := os.Open(cfg.tracePath)
 	if err != nil {
 		dsp.End()
-		return err
+		return nil, err
 	}
 	defer f.Close()
 	w, err := trace.Decode(f)
 	if err != nil {
 		dsp.End()
-		return err
+		return nil, err
 	}
 	dsp.AddItems(int64(w.NumFrames()))
 	dsp.End()
@@ -135,7 +176,7 @@ func price(ctx context.Context, run *obs.Run, cfg config) error {
 		ssp.AddItems(int64(w.NumFrames()))
 		ssp.End()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		run.RecordDiagnostics(diag.Map())
 		if diag.Any() {
@@ -143,6 +184,14 @@ func price(ctx context.Context, run *obs.Run, cfg config) error {
 			run.Logger().Warn("lenient sanitization degraded the workload",
 				"workload", w.Name, "diagnostics", diag.String())
 		}
+	}
+	return w, nil
+}
+
+func price(ctx context.Context, run *obs.Run, cfg config) error {
+	w, err := loadWorkload(ctx, run, cfg)
+	if err != nil {
+		return err
 	}
 
 	cfgGPU := gpu.BaseConfig().WithCoreClock(cfg.core).WithMemClock(cfg.mem)
@@ -192,4 +241,126 @@ func price(ctx context.Context, run *obs.Run, cfg config) error {
 		csp.End()
 	}
 	return nil
+}
+
+// parseClocks parses a comma-separated clock list ("0.5,1.0,1.5").
+func parseClocks(flagName, s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %q is not a clock in GHz", flagName, p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// gridConfigs builds the sweep grid from the -grid-core/-grid-mem
+// flags: empty core = the default core-clock ladder, empty mem = the
+// base 1.0 GHz. Every mode (sequential, shard, dispatch endpoint)
+// builds grids this way, so the grid digest matches across them.
+func gridConfigs(cfg config) ([]gpu.Config, error) {
+	core := sweep.DefaultCoreClocks()
+	mem := []float64{1.0}
+	var err error
+	if cfg.gridCore != "" {
+		if core, err = parseClocks("-grid-core", cfg.gridCore); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.gridMem != "" {
+		if mem, err = parseClocks("-grid-mem", cfg.gridMem); err != nil {
+			return nil, err
+		}
+	}
+	return sweep.Grid(gpu.BaseConfig(), core, mem), nil
+}
+
+// writeSweepOut writes the run manifest JSON when -sweep-out is set.
+func writeSweepOut(cfg config, rm *shard.RunManifest) error {
+	if cfg.sweepOut == "" {
+		return nil
+	}
+	data, err := rm.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(cfg.sweepOut, data, 0o644)
+}
+
+// sweepGrid prices a config grid: the whole grid in-process, or — with
+// -shard i/n — only this process's share of it, coordinated with the
+// other shards through the shared cache directory.
+func sweepGrid(ctx context.Context, run *obs.Run, cfg config) error {
+	w, err := loadWorkload(ctx, run, cfg)
+	if err != nil {
+		return err
+	}
+	cfgs, err := gridConfigs(cfg)
+	if err != nil {
+		return err
+	}
+	rcache, err := cache.FromFlags(cfg.cacheDir, cfg.cacheMem)
+	if err != nil {
+		return err
+	}
+
+	if cfg.shard != "" {
+		spec, err := shard.ParseSpec(cfg.shard)
+		if err != nil {
+			return err
+		}
+		if cfg.shardDir == "" {
+			return fmt.Errorf("-shard needs -shard-dir for the per-shard manifest")
+		}
+		if rcache == nil || rcache.Dir() == "" {
+			return fmt.Errorf("-shard needs a shared -cache-dir to coordinate with the other shards")
+		}
+		wk := shard.NewWorker(shard.WorkerOptions{Cache: rcache, LeaseTTL: cfg.shardLease})
+		m, st, err := wk.Run(ctx, w, cfgs, spec)
+		if err != nil {
+			return err
+		}
+		rcache.Flush()
+		path, err := m.WriteFile(cfg.shardDir)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.out, "shard     %s  grid %d configs  owned %d  computed %d  cache hits %d\n",
+			spec, len(cfgs), st.Owned, st.Computed, st.CacheHits)
+		fmt.Fprintf(cfg.out, "manifest  %s\n", path)
+		return nil
+	}
+
+	rm, err := shard.RunSequential(ctx, rcache, w, cfgs)
+	if err != nil {
+		return err
+	}
+	rcache.Flush()
+	rm.Render(cfg.out)
+	return writeSweepOut(cfg, rm)
+}
+
+// mergeShards folds the per-shard manifests in -shard-dir into the run
+// manifest and prints the same sweep table a sequential run prints —
+// byte-identical, which the e2e suite asserts with cmp.
+func mergeShards(ctx context.Context, cfg config) error {
+	_, sp := obs.StartSpan(ctx, "merge-shards")
+	defer sp.End()
+	if cfg.shardDir == "" {
+		return fmt.Errorf("-merge needs -shard-dir")
+	}
+	ms, err := shard.ReadDir(cfg.shardDir)
+	if err != nil {
+		return err
+	}
+	sp.AddItems(int64(len(ms)))
+	rm, err := shard.Merge(ms)
+	if err != nil {
+		return err
+	}
+	rm.Render(cfg.out)
+	return writeSweepOut(cfg, rm)
 }

@@ -74,6 +74,10 @@ type Stats struct {
 	Evictions int64 // in-memory entries evicted by the byte budget
 	Corrupt   int64 // disk entries dropped for failed framing/checksum
 	Errors    int64 // best-effort store/IO failures (cache kept going)
+	// StaleClaims counts leftover work-claim files (see claim.go) from
+	// dead or canceled workers that TryClaim removed and took over —
+	// the signal that a previous run exited uncleanly.
+	StaleClaims int64
 }
 
 // Cache is a two-tier content-addressed result store. Safe for
@@ -98,6 +102,7 @@ type Cache struct {
 	evictions               atomic.Int64
 	corrupt                 atomic.Int64
 	errs                    atomic.Int64
+	staleClaims             atomic.Int64
 }
 
 // New builds a cache, creating the disk directory when one is
@@ -124,13 +129,14 @@ func (c *Cache) Stats() Stats {
 		return Stats{}
 	}
 	return Stats{
-		Hits:      c.hits.Load(),
-		MemHits:   c.memHits.Load(),
-		DiskHits:  c.diskHits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
-		Corrupt:   c.corrupt.Load(),
-		Errors:    c.errs.Load(),
+		Hits:        c.hits.Load(),
+		MemHits:     c.memHits.Load(),
+		DiskHits:    c.diskHits.Load(),
+		Misses:      c.misses.Load(),
+		Evictions:   c.evictions.Load(),
+		Corrupt:     c.corrupt.Load(),
+		Errors:      c.errs.Load(),
+		StaleClaims: c.staleClaims.Load(),
 	}
 }
 

@@ -1,0 +1,156 @@
+package cache
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Distributed work claims.
+//
+// A claim is a tiny marker file (<key>.claim, next to the key's .s3dc
+// entry) that says "some worker is computing this key right now". The
+// shard layer uses claims to split a config-grid sweep across
+// processes that share one cache directory: a worker claims a key
+// before pricing it, so overlapping shards and restarted workers
+// don't duplicate the most expensive computation in the system.
+//
+// Claims are an optimization, never a correctness mechanism. Every
+// value is content-addressed, so two workers computing the same key
+// store byte-identical entries — a lost or raced claim costs duplicate
+// work, not a wrong result. That frame dictates the failure policy:
+//
+//   - A claim whose file has outlived its lease is STALE (its owner
+//     crashed, was killed, or stalled). The next TryClaim removes it,
+//     counts it in Stats.StaleClaims and the "cache.claim.stale"
+//     metric, and takes the claim over — a dead worker can never
+//     poison the directory for the next run.
+//   - Claim I/O failures grant the claim instead of failing the
+//     caller: computing twice is always safe, refusing to compute is
+//     not.
+//   - A memory-only cache (no Dir) has no cross-process peers to
+//     coordinate with, so every claim is granted immediately;
+//     in-process dedup is already handled by GetOrCompute's
+//     single-flight.
+
+// ClaimState is a TryClaim outcome.
+type ClaimState int
+
+const (
+	// ClaimAcquired: the caller holds the claim and must ReleaseClaim
+	// when its computation stores (or fails).
+	ClaimAcquired ClaimState = iota
+	// ClaimBusy: a live claim is held by another owner; the caller
+	// should poll for the entry (or for the claim to go stale).
+	ClaimBusy
+)
+
+// claimPath is the claim marker for a key: alongside the entry file,
+// so claim and entry always land in the same shard directory.
+func (c *Cache) claimPath(key Key) string {
+	return c.path(key) + ".claim"
+}
+
+// TryClaim attempts to claim key for owner. ttl bounds how long an
+// existing claim file is believed: an older one is treated as the
+// debris of a dead worker — removed, counted (Stats.StaleClaims,
+// metric "cache.claim.stale") and taken over. On a nil cache or a
+// memory-only cache the claim is granted immediately.
+//
+// holder is the competing owner string when the state is ClaimBusy.
+func (c *Cache) TryClaim(ctx context.Context, key Key, owner string, ttl time.Duration) (state ClaimState, holder string) {
+	if c == nil || c.dir == "" {
+		return ClaimAcquired, ""
+	}
+	path := c.claimPath(key)
+	// Two passes: the second exists so that removing one stale claim
+	// leads straight to a takeover attempt instead of another poll
+	// cycle. A third collision means the directory is churning; report
+	// busy and let the caller's poll loop sort it out.
+	for attempt := 0; attempt < 2; attempt++ {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			c.errs.Add(1)
+			return ClaimAcquired, ""
+		}
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err == nil {
+			_, werr := f.WriteString(owner)
+			cerr := f.Close()
+			if werr != nil || cerr != nil {
+				c.errs.Add(1)
+			}
+			return ClaimAcquired, ""
+		}
+		if !os.IsExist(err) {
+			// Claim machinery failing must not stall the sweep:
+			// duplicate computation is safe, a deadlocked worker is not.
+			c.errs.Add(1)
+			return ClaimAcquired, ""
+		}
+		fi, serr := os.Stat(path)
+		if serr != nil {
+			// The holder released between our create and stat; retry.
+			continue
+		}
+		if age := time.Since(fi.ModTime()); age > ttl {
+			if rerr := os.Remove(path); rerr != nil && !os.IsNotExist(rerr) {
+				c.errs.Add(1)
+				return ClaimBusy, ""
+			}
+			c.staleClaims.Add(1)
+			run := obs.RunFromContext(ctx)
+			run.Metrics().Counter("cache.claim.stale").Inc()
+			run.Logger().Warn("stale cache claim removed",
+				"key", key.String(), "age", age.Round(time.Millisecond))
+			continue
+		}
+		raw, _ := os.ReadFile(path)
+		return ClaimBusy, strings.TrimSpace(string(raw))
+	}
+	return ClaimBusy, ""
+}
+
+// ReleaseClaim removes the caller's claim marker for key. It is the
+// mandatory epilogue of every ClaimAcquired — deferred, so claims are
+// cleaned up on success, on failure and on context cancellation alike;
+// only a crash can leave one behind, and TryClaim's staleness sweep
+// covers that. Nil-safe and idempotent.
+func (c *Cache) ReleaseClaim(key Key) {
+	if c == nil || c.dir == "" {
+		return
+	}
+	if err := os.Remove(c.claimPath(key)); err != nil && !os.IsNotExist(err) {
+		c.errs.Add(1)
+	}
+}
+
+// Lookup returns the cached value for key without computing on a
+// miss — the read side of the claim protocol: a worker that lost the
+// claim race polls Lookup until the winner's store lands. A hit
+// decodes a fresh private copy exactly like GetOrCompute; an
+// undecodable payload is dropped and counted corrupt, surfacing as a
+// miss. A nil cache always misses.
+func Lookup[T any](ctx context.Context, c *Cache, key Key) (T, bool) {
+	var v T
+	if c == nil {
+		return v, false
+	}
+	data, ok := c.lookup(ctx, key)
+	if !ok {
+		return v, false
+	}
+	if err := decodePayload(data, &v); err != nil {
+		c.corrupt.Add(1)
+		run := obs.RunFromContext(ctx)
+		run.Metrics().Counter("cache.corrupt").Inc()
+		run.Logger().Warn("cache payload undecodable, dropping", "key", key.String(), "err", err)
+		c.remove(key)
+		var zero T
+		return zero, false
+	}
+	return v, true
+}

@@ -1,0 +1,161 @@
+package cache
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func newDiskCache(t *testing.T) *Cache {
+	t.Helper()
+	c, err := New(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestTryClaimAcquireBusyRelease(t *testing.T) {
+	c := newDiskCache(t)
+	ctx := context.Background()
+	key := NewKey("claim", 1).Sum()
+
+	state, _ := c.TryClaim(ctx, key, "alice", time.Hour)
+	if state != ClaimAcquired {
+		t.Fatalf("first claim: %v", state)
+	}
+	if _, err := os.Stat(c.claimPath(key)); err != nil {
+		t.Fatalf("claim marker missing: %v", err)
+	}
+	state, holder := c.TryClaim(ctx, key, "bob", time.Hour)
+	if state != ClaimBusy || holder != "alice" {
+		t.Fatalf("second claim: %v holder %q, want busy/alice", state, holder)
+	}
+	c.ReleaseClaim(key)
+	if _, err := os.Stat(c.claimPath(key)); !os.IsNotExist(err) {
+		t.Fatalf("claim marker survived release: %v", err)
+	}
+	state, _ = c.TryClaim(ctx, key, "bob", time.Hour)
+	if state != ClaimAcquired {
+		t.Fatalf("claim after release: %v", state)
+	}
+	// Release is idempotent and must not count an error.
+	c.ReleaseClaim(key)
+	c.ReleaseClaim(key)
+	if errs := c.Stats().Errors; errs != 0 {
+		t.Fatalf("idempotent release counted %d errors", errs)
+	}
+}
+
+func TestTryClaimStealsStaleClaim(t *testing.T) {
+	c := newDiskCache(t)
+	ctx := context.Background()
+	key := NewKey("claim", 1).Sum()
+
+	if state, _ := c.TryClaim(ctx, key, "dead-worker", time.Hour); state != ClaimAcquired {
+		t.Fatal("setup claim failed")
+	}
+	// Age the marker past any lease instead of sleeping.
+	old := time.Now().Add(-time.Minute)
+	if err := os.Chtimes(c.claimPath(key), old, old); err != nil {
+		t.Fatal(err)
+	}
+	state, _ := c.TryClaim(ctx, key, "successor", 10*time.Second)
+	if state != ClaimAcquired {
+		t.Fatalf("stale claim not taken over: %v", state)
+	}
+	if got := c.Stats().StaleClaims; got != 1 {
+		t.Fatalf("StaleClaims = %d, want 1", got)
+	}
+	// The successor now holds a FRESH claim: a third worker with the
+	// same lease must see busy, not another steal.
+	if state, holder := c.TryClaim(ctx, key, "third", 10*time.Second); state != ClaimBusy || holder != "successor" {
+		t.Fatalf("after takeover: %v holder %q", state, holder)
+	}
+	if got := c.Stats().StaleClaims; got != 1 {
+		t.Fatalf("live claim counted stale: %d", got)
+	}
+}
+
+func TestTryClaimGrantsWithoutDiskTier(t *testing.T) {
+	ctx := context.Background()
+	key := NewKey("claim", 1).Sum()
+
+	var nilCache *Cache
+	if state, _ := nilCache.TryClaim(ctx, key, "x", time.Hour); state != ClaimAcquired {
+		t.Fatal("nil cache must grant claims")
+	}
+	nilCache.ReleaseClaim(key) // must not panic
+
+	mem, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Memory-only: no cross-process peers, every claim granted, even
+	// "concurrently".
+	for i := 0; i < 3; i++ {
+		if state, _ := mem.TryClaim(ctx, key, "y", time.Hour); state != ClaimAcquired {
+			t.Fatal("memory-only cache must grant claims")
+		}
+	}
+	mem.ReleaseClaim(key)
+}
+
+func TestLookupReadsStoredEntries(t *testing.T) {
+	c := newDiskCache(t)
+	ctx := context.Background()
+	key := NewKey("lookup", 1).Sum()
+
+	if _, ok := Lookup[payload](ctx, c, key); ok {
+		t.Fatal("lookup hit on an empty cache")
+	}
+	want := payload{N: 42, Xs: []float64{1, 2, 3}}
+	if _, err := GetOrCompute(ctx, c, key, func() (payload, error) { return want, nil }); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := Lookup[payload](ctx, c, key)
+	if !ok || got.N != want.N || len(got.Xs) != len(want.Xs) {
+		t.Fatalf("lookup after store: ok=%v got=%+v", ok, got)
+	}
+	// Cross-handle: a second cache over the same directory sees the
+	// entry after Flush — the path shard workers rely on.
+	c.Flush()
+	c2, err := New(Config{Dir: c.Dir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := Lookup[payload](ctx, c2, key); !ok || got.N != want.N {
+		t.Fatalf("cross-handle lookup: ok=%v got=%+v", ok, got)
+	}
+
+	var nilCache *Cache
+	if _, ok := Lookup[payload](ctx, nilCache, key); ok {
+		t.Fatal("nil cache lookup hit")
+	}
+}
+
+func TestLookupDropsUndecodablePayload(t *testing.T) {
+	c := newDiskCache(t)
+	ctx := context.Background()
+	key := NewKey("lookup", 1).Sum()
+
+	// A well-framed entry whose payload is not a gob payload struct.
+	path := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, encodeEntry([]byte("not a gob")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Lookup[payload](ctx, c, key); ok {
+		t.Fatal("undecodable payload served as a hit")
+	}
+	if got := c.Stats().Corrupt; got != 1 {
+		t.Fatalf("Corrupt = %d, want 1", got)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("undecodable entry not dropped from disk")
+	}
+}

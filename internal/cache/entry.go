@@ -87,6 +87,20 @@ func decodeEntry(data []byte) ([]byte, error) {
 	return payload, nil
 }
 
+// EncodeFramed frames an arbitrary payload in the .s3dc entry
+// container (magic, schema version, length, SHA-256). Exported for
+// sibling packages that want the same self-describing, checksummed
+// on-disk format for their own artifacts — shard manifests reuse it so
+// one framing (and one fuzz-hardened decoder contract) covers every
+// file the cache substrate produces.
+func EncodeFramed(payload []byte) []byte { return encodeEntry(payload) }
+
+// DecodeFramed validates a framed container and returns its payload,
+// classifying failures under the traceerr taxonomy exactly like cache
+// entry reads (ErrTruncated / ErrCorruptRecord / ErrVersionMismatch /
+// ErrTooLarge).
+func DecodeFramed(data []byte) ([]byte, error) { return decodeEntry(data) }
+
 // encodePayload gob-encodes a value for caching.
 func encodePayload(v any) ([]byte, error) {
 	var buf bytes.Buffer

@@ -37,6 +37,7 @@ func (s *Server) routes() {
 	s.handle("get", "GET /v1/workloads/{fp}", false, s.handleGet)
 	s.handle("subset", "POST /v1/subset", true, s.handleSubset)
 	s.handle("sweep", "POST /v1/sweep", true, s.handleSweep)
+	s.handle("shard-sweep", "POST /v1/shard/sweep", true, s.handleShardSweep)
 	s.handle("price", "POST /v1/price", true, s.handlePrice)
 	s.handle("stats", "GET /v1/stats", false, s.handleStats)
 	s.handle("metrics", "GET /metrics", false, s.handleMetrics)

@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"net/http"
+
+	"repro/internal/cache"
+	"repro/internal/gpu"
+	"repro/internal/shard"
+	"repro/internal/sweep"
+)
+
+// ShardSweepRequest asks the server to price ONE shard of a config
+// grid over a registered workload. The grid is specified exactly like
+// /v1/sweep's, so a fleet of these requests (one per shard, against
+// one server or several sharing a cache directory) covers the same
+// grid a single /v1/sweep would.
+type ShardSweepRequest struct {
+	Workload   string    `json:"workload"`
+	CoreClocks []float64 `json:"core_clocks,omitempty"` // default: the standard ladder
+	MemClocks  []float64 `json:"mem_clocks,omitempty"`  // default: 1.0
+	Shard      string    `json:"shard"`                 // "i/n", 1-based
+}
+
+// ShardSweepResponse carries the per-shard manifest (base64 in JSON)
+// plus its digest and the worker's accounting. The manifest bytes are
+// exactly what `gpusim -shard` writes to disk: feed them to `gpusim
+// -merge` (or shard.Merge) together with the other shards' manifests.
+type ShardSweepResponse struct {
+	Workload       string `json:"workload"`
+	Shard          string `json:"shard"`
+	GridConfigs    int    `json:"grid_configs"`
+	GridDigest     string `json:"grid_digest"`
+	Owned          int    `json:"owned"`
+	Computed       int    `json:"computed"`
+	CacheHits      int    `json:"cache_hits"`
+	Manifest       []byte `json:"manifest"`
+	ManifestDigest string `json:"manifest_digest"`
+}
+
+// handleShardSweep dispatches one shard of a sweep. It rides the same
+// admission/coalescing path as every compute query, but NOT the
+// response cache: the response embeds a manifest whose per-task
+// pricing is already served by the result cache, and dispatchers
+// re-request shards precisely when they want the worker to re-examine
+// the shared cache state.
+func (s *Server) handleShardSweep(w http.ResponseWriter, r *http.Request) {
+	var req ShardSweepRequest
+	if err := s.decodeReq(r, &req); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	if len(req.CoreClocks) == 0 {
+		req.CoreClocks = sweep.DefaultCoreClocks()
+	}
+	if len(req.MemClocks) == 0 {
+		req.MemClocks = []float64{1.0}
+	}
+	if n := len(req.CoreClocks) * len(req.MemClocks); n > maxSweepConfigs {
+		s.writeErr(w, badRequest("sweep grid has %d configs, max %d", n, maxSweepConfigs))
+		return
+	}
+	spec, err := shard.ParseSpec(req.Shard)
+	if err != nil {
+		s.writeErr(w, badRequest("%v", err))
+		return
+	}
+	e, err := s.reg.get(req.Workload)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	kb := cache.NewKey("serve.shardsweep", 1).
+		Bytes(e.FP[:]).
+		Int(int64(spec.Index)).
+		Int(int64(spec.Count)).
+		Int(int64(len(req.CoreClocks)))
+	for _, c := range req.CoreClocks {
+		kb.Float(c)
+	}
+	for _, c := range req.MemClocks {
+		kb.Float(c)
+	}
+	flightKey := "shardsweep:" + kb.Sum().String()
+	s.runQuery(w, r, flightKey, func(ctx context.Context) (any, error) {
+		cfgs := sweep.Grid(gpu.BaseConfig(), req.CoreClocks, req.MemClocks)
+		wk := shard.NewWorker(shard.WorkerOptions{Cache: s.opt.Cache, Owner: "subsetd"})
+		m, st, err := wk.Run(ctx, e.W, cfgs, spec)
+		if err != nil {
+			return nil, err
+		}
+		data, err := m.Encode()
+		if err != nil {
+			return nil, err
+		}
+		return ShardSweepResponse{
+			Workload:       e.FP.String(),
+			Shard:          spec.String(),
+			GridConfigs:    len(cfgs),
+			GridDigest:     m.Grid.String(),
+			Owned:          st.Owned,
+			Computed:       st.Computed,
+			CacheHits:      st.CacheHits,
+			Manifest:       data,
+			ManifestDigest: fmt.Sprintf("%x", sha256.Sum256(data)),
+		}, nil
+	})
+}

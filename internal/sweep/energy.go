@@ -58,13 +58,9 @@ func RunEnergyParallel(ctx context.Context, w *trace.Workload, s *subset.Subset,
 		return EnergyResult{}, err
 	}
 	points, err := parallel.MapSlice(ctx, workers, cfgs, func(ctx context.Context, i int, cfg gpu.Config) (EnergyPoint, error) {
-		sim, err := base.WithConfig(cfg)
+		sim, priced, err := PriceConfig(ctx, base, w, cfg, i, len(cfgs))
 		if err != nil {
 			return EnergyPoint{}, err
-		}
-		priced, err := PriceParent(ctx, sim, w, cfg)
-		if err != nil {
-			return EnergyPoint{}, fmt.Errorf("sweep: config %d/%d: %w", i+1, len(cfgs), err)
 		}
 		pe := pm.Energy(cfg, priced.Totals)
 

@@ -21,27 +21,56 @@ type PricedParent struct {
 	Totals  gpu.Totals
 }
 
+// PriceKey is the content address of PriceParent's product: the cache
+// key under which pricing workload fp on cfg is stored. It is exported
+// because the shard layer claims and resolves distributed work by
+// exactly this key — a worker and the sequential path must always
+// agree on the address or sharded runs would recompute (or worse,
+// miss) the sequential path's entries.
+func PriceKey(fp trace.Fingerprint, cfg gpu.Config) cache.Key {
+	cfgFp := cfg.Fingerprint()
+	return cache.NewKey("sweep.price", gpu.ModelVersion).
+		Bytes(fp[:]).
+		Bytes(cfgFp[:]).
+		Sum()
+}
+
 // PriceParent prices every frame of w on the simulator, served
 // through the result cache when ctx carries a binding
-// (cache.WithWorkload) for w. The key is (workload fingerprint,
-// config cost-model fingerprint, gpu.ModelVersion); a hit skips the
-// full per-draw pricing pass — the dominant cost of a grid sweep.
-// Without a binding it prices directly. sim must have been built on
-// w with cfg; the float accumulation order matches Simulator.Run
-// exactly, so cached and direct pricing are bit-identical.
+// (cache.WithWorkload) for w. The key is PriceKey (workload
+// fingerprint, config cost-model fingerprint, gpu.ModelVersion); a hit
+// skips the full per-draw pricing pass — the dominant cost of a grid
+// sweep. Without a binding it prices directly. sim must have been
+// built on w with cfg; the float accumulation order matches
+// Simulator.Run exactly, so cached and direct pricing are
+// bit-identical.
 func PriceParent(ctx context.Context, sim *gpu.Simulator, w *trace.Workload, cfg gpu.Config) (PricedParent, error) {
 	c, fp, ok := cache.ForWorkload(ctx)
 	if !ok {
 		return priceParent(ctx, sim, w)
 	}
-	cfgFp := cfg.Fingerprint()
-	key := cache.NewKey("sweep.price", gpu.ModelVersion).
-		Bytes(fp[:]).
-		Bytes(cfgFp[:]).
-		Sum()
-	return cache.GetOrCompute(ctx, c, key, func() (PricedParent, error) {
+	return cache.GetOrCompute(ctx, c, PriceKey(fp, cfg), func() (PricedParent, error) {
 		return priceParent(ctx, sim, w)
 	})
+}
+
+// PriceConfig is the one per-config setup path every grid consumer
+// shares: derive the per-config simulator from base (skipping
+// re-validation) and price the parent on it through the result cache
+// when ctx carries one. RunParallel, RunEnergyParallel and the shard
+// worker all go through it, so a distributed shard can never drift
+// from the sequential path's setup or fold order. i and n only shape
+// the error context ("config i+1/n").
+func PriceConfig(ctx context.Context, base *gpu.Simulator, w *trace.Workload, cfg gpu.Config, i, n int) (*gpu.Simulator, PricedParent, error) {
+	sim, err := base.WithConfig(cfg)
+	if err != nil {
+		return nil, PricedParent{}, err
+	}
+	priced, err := PriceParent(ctx, sim, w, cfg)
+	if err != nil {
+		return nil, PricedParent{}, fmt.Errorf("sweep: config %d/%d: %w", i+1, n, err)
+	}
+	return sim, priced, nil
 }
 
 // priceParent is one full pricing pass with per-frame cancellation.

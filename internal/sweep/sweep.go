@@ -118,16 +118,12 @@ func RunParallel(ctx context.Context, w *trace.Workload, s *subset.Subset, cfgs 
 		return Result{}, err
 	}
 	points, err := parallel.MapSlice(ctx, workers, cfgs, func(ctx context.Context, i int, cfg gpu.Config) (Point, error) {
-		sim, err := base.WithConfig(cfg)
-		if err != nil {
-			return Point{}, err
-		}
 		// Parent pricing — the dominant cost — goes through the result
 		// cache when ctx carries one; the subset reconstruction is ~100x
 		// cheaper and always priced fresh.
-		priced, err := PriceParent(ctx, sim, w, cfg)
+		sim, priced, err := PriceConfig(ctx, base, w, cfg, i, len(cfgs))
 		if err != nil {
-			return Point{}, fmt.Errorf("sweep: config %d/%d: %w", i+1, len(cfgs), err)
+			return Point{}, err
 		}
 		return Point{Config: cfg, ParentNs: priced.TotalNs, SubsetNs: s.EstimateParentNs(sim)}, nil
 	})
