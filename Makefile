@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 vet lint build test cover cover-cluster cover-export cover-shard fuzz-seeds bench bench-parallel bench-cache bench-hotpath bench-hotpath-check bench-shard bench-shard-check serve-smoke bench-serve clean
+.PHONY: tier1 vet lint build test cover cover-cluster cover-export cover-shard cover-coord fuzz-seeds bench bench-parallel bench-cache bench-hotpath bench-hotpath-check bench-shard bench-shard-check bench-coord bench-coord-check serve-smoke bench-serve coord-smoke clean
 
 # BENCHTIME tunes the hot-path benchmark arms; 1s x 3 counts balances
 # noise robustness (benchjson keeps the fastest repetition) against CI
@@ -71,6 +71,16 @@ cover-shard:
 	echo "internal/shard coverage: $$total%"; \
 	awk -v t="$$total" 'BEGIN { exit !(t + 0 >= 85) }' || { echo "FAIL: internal/shard coverage $$total% below the 85% gate"; exit 1; }
 
+# cover-coord gates the sweep coordinator at 80%: dispatch, retry,
+# steal and merge logic that mis-handles a failure mode silently
+# produces a manifest that is not what the sequential path computes —
+# the exact defect the whole layer exists to rule out.
+cover-coord:
+	$(GO) test -coverprofile=cover-coord.out ./internal/coord/
+	@total=$$($(GO) tool cover -func=cover-coord.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	echo "internal/coord coverage: $$total%"; \
+	awk -v t="$$total" 'BEGIN { exit !(t + 0 >= 80) }' || { echo "FAIL: internal/coord coverage $$total% below the 80% gate"; exit 1; }
+
 # bench runs every benchmark (experiments + parallel engine) and
 # records the parallel speedup curves in BENCH_parallel.json.
 bench:
@@ -130,6 +140,26 @@ bench-shard-check:
 	$(GO) run ./cmd/benchguard -in bench-shard-new.json -baseline BENCH_shard.json -max-regress 0.25 \
 	  -min ShardSweep/shards2=1.5 -min ShardSweep/shards4=2.0 -min ShardSweep/shards8=3.0
 
+# bench-coord regenerates BENCH_coord.json: the 32-config grid swept
+# sequentially in process (path=naive) versus coordinated over 1/2/3
+# real HTTP workers. The coordinated arms report the distributed
+# critical path (slowest worker's busy time + merge) as ns/op, so the
+# speedup curve is core-count independent and the gate transfers
+# across CI hosts.
+bench-coord:
+	$(GO) test -bench='^BenchmarkCoordSweep$$' -run '^$$' -benchtime $(BENCHTIME) -count $(BENCHCOUNT) . | tee bench-coord.out
+	$(GO) run ./cmd/benchjson -match '^CoordSweep' -o BENCH_coord.json < bench-coord.out
+
+# bench-coord-check is the CI scaling gate: 25% tolerance against the
+# checked-in curve plus absolute floors — coordination must keep
+# paying at every fleet width (>= 1.3x at 2 workers, >= 1.7x at 3; the
+# per-dispatch HTTP, JSON and planning overhead bounds it away from
+# ideal).
+bench-coord-check:
+	$(GO) test -bench='^BenchmarkCoordSweep$$' -run '^$$' -benchtime $(BENCHTIME) -count $(BENCHCOUNT) . | $(GO) run ./cmd/benchjson -match '^CoordSweep' -o bench-coord-new.json
+	$(GO) run ./cmd/benchguard -in bench-coord-new.json -baseline BENCH_coord.json -max-regress 0.25 \
+	  -min CoordSweep/workers2=1.3 -min CoordSweep/workers3=1.7
+
 # serve-smoke is the service's end-to-end gate: build subsetd, start
 # it on a loopback port, upload a synthetic workload, require a cold
 # and a warm subset query to answer byte-identically, scrape /metrics
@@ -180,7 +210,55 @@ bench-serve:
 	wait $$pid || { echo "FAIL: subsetd exited non-zero after SIGTERM"; exit 1; }; \
 	echo "bench-serve ok: BENCH_serve.json written"
 
+# coord-smoke is the multi-worker end-to-end gate, run against real
+# processes: three subsetd workers, one subsetcoord sweep over a
+# 12-config grid, byte-compared (cmp) against a sequential gpusim run
+# of the same trace — manifest and rendered table both. Then the chaos
+# arm: kill -9 one worker, relaunch it on the same port and cache dir,
+# and sweep again through the relaunched worker ALONE with only the
+# workload fingerprint (no trace to re-upload) — success proves the
+# relaunch rebuilt its registry from the cache dir, and the output
+# must still be byte-identical.
+coord-smoke:
+	@set -e; \
+	rm -rf coord-scratch; mkdir -p coord-scratch/cache1 coord-scratch/cache2 coord-scratch/cache3; \
+	$(GO) build -o coord-scratch/subsetd ./cmd/subsetd; \
+	$(GO) build -o coord-scratch/subsetcoord ./cmd/subsetcoord; \
+	$(GO) build -o coord-scratch/gpusim ./cmd/gpusim; \
+	$(GO) build -o coord-scratch/tracegen ./cmd/tracegen; \
+	coord-scratch/tracegen -out coord-scratch -game bioshock1 -seed 7; \
+	coord-scratch/gpusim -trace coord-scratch/bioshock1.trace \
+	  -grid-core 0.5,0.8,1.1,1.4,1.7,2.0 -grid-mem 0.8,1.2 \
+	  -sweep-out coord-scratch/seq.json > coord-scratch/seq.txt; \
+	coord-scratch/subsetd -addr 127.0.0.1:8761 -cache-dir coord-scratch/cache1 >coord-scratch/w1.log 2>&1 & p1=$$!; \
+	coord-scratch/subsetd -addr 127.0.0.1:8762 -cache-dir coord-scratch/cache2 >coord-scratch/w2.log 2>&1 & p2=$$!; \
+	coord-scratch/subsetd -addr 127.0.0.1:8763 -cache-dir coord-scratch/cache3 >coord-scratch/w3.log 2>&1 & p3=$$!; \
+	trap 'kill -9 $$p1 $$p2 $$p3 2>/dev/null || true' EXIT; \
+	for log in w1.log w2.log w3.log; do \
+	  for i in $$(seq 1 100); do grep -q "listening on" coord-scratch/$$log && break; sleep 0.1; done; \
+	  grep -q "listening on" coord-scratch/$$log || { echo "FAIL: worker $$log never came up"; exit 1; }; \
+	done; \
+	coord-scratch/subsetcoord \
+	  -workers http://127.0.0.1:8761,http://127.0.0.1:8762,http://127.0.0.1:8763 \
+	  -trace coord-scratch/bioshock1.trace \
+	  -grid-core 0.5,0.8,1.1,1.4,1.7,2.0 -grid-mem 0.8,1.2 \
+	  -sweep-out coord-scratch/coord.json > coord-scratch/coord.txt; \
+	cmp coord-scratch/seq.json coord-scratch/coord.json || { echo "FAIL: coordinated manifest differs from sequential"; exit 1; }; \
+	cmp coord-scratch/seq.txt coord-scratch/coord.txt || { echo "FAIL: coordinated sweep table differs from sequential"; exit 1; }; \
+	fp=$$(sed -n 's/.*"workload_fp": "\([0-9a-f]*\)".*/\1/p' coord-scratch/coord.json | head -1); \
+	test -n "$$fp" || { echo "FAIL: no workload_fp in coord.json"; exit 1; }; \
+	kill -9 $$p2; wait $$p2 2>/dev/null || true; \
+	coord-scratch/subsetd -addr 127.0.0.1:8762 -cache-dir coord-scratch/cache2 >coord-scratch/w2-relaunch.log 2>&1 & p2=$$!; \
+	for i in $$(seq 1 100); do grep -q "listening on" coord-scratch/w2-relaunch.log && break; sleep 0.1; done; \
+	grep -q "restored 1 workload" coord-scratch/w2-relaunch.log || { echo "FAIL: relaunched worker did not restore its registry from the cache dir"; exit 1; }; \
+	coord-scratch/subsetcoord -workers http://127.0.0.1:8762 -workload $$fp \
+	  -grid-core 0.5,0.8,1.1,1.4,1.7,2.0 -grid-mem 0.8,1.2 \
+	  -sweep-out coord-scratch/chaos.json > coord-scratch/chaos.txt; \
+	cmp coord-scratch/seq.json coord-scratch/chaos.json || { echo "FAIL: post-chaos manifest differs from sequential"; exit 1; }; \
+	cmp coord-scratch/seq.txt coord-scratch/chaos.txt || { echo "FAIL: post-chaos sweep table differs from sequential"; exit 1; }; \
+	echo "coord-smoke ok"
+
 clean:
 	$(GO) clean ./...
-	rm -f bench.out bench-cache.out bench-hotpath.out bench-hotpath-new.json bench-shard.out bench-shard-new.json cover.out cover-cluster.out cover-export.out cover-shard.out BENCH_parallel.json BENCH_cache.json
-	rm -rf serve-scratch
+	rm -f bench.out bench-cache.out bench-hotpath.out bench-hotpath-new.json bench-shard.out bench-shard-new.json bench-coord.out bench-coord-new.json cover.out cover-cluster.out cover-export.out cover-shard.out cover-coord.out BENCH_parallel.json BENCH_cache.json
+	rm -rf serve-scratch coord-scratch

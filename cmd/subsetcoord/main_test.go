@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/shard"
+	"repro/internal/sweep"
+	"repro/internal/trace"
+	"repro/internal/tracetest"
+)
+
+func TestParseWorkers(t *testing.T) {
+	got := parseWorkers(" http://a:1, http://b:2/ ,,http://c:3")
+	want := []string{"http://a:1", "http://b:2", "http://c:3"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseWorkers = %v, want %v", got, want)
+	}
+}
+
+func TestParseClocks(t *testing.T) {
+	got, err := parseClocks("-grid-core", "0.5, 1.0,1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []float64{0.5, 1.0, 1.5}) {
+		t.Fatalf("parseClocks = %v", got)
+	}
+	if empty, err := parseClocks("-grid-core", ""); err != nil || empty != nil {
+		t.Fatalf("empty clock list: %v, %v; want nil, nil", empty, err)
+	}
+	if _, err := parseClocks("-grid-core", "0.5,fast"); err == nil {
+		t.Fatal("junk clock should fail")
+	}
+}
+
+// TestExecuteEndToEnd drives the CLI entrypoint against three real
+// in-process workers and holds it to the tool's byte contract: stdout
+// is exactly the sequential sweep table, and -sweep-out is exactly the
+// sequential run manifest encoding.
+func TestExecuteEndToEnd(t *testing.T) {
+	w := tracetest.Tiny()
+	core := []float64{0.5, 1.0, 1.5}
+	mem := []float64{0.8, 1.2}
+
+	cfgs := sweep.Grid(gpu.BaseConfig(), core, mem)
+	ref, err := shard.RunSequential(context.Background(), nil, w, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refEnc, err := ref.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refTable bytes.Buffer
+	ref.Render(&refTable)
+
+	workers := ""
+	for i := 0; i < 3; i++ {
+		s := serve.New(serve.Options{Run: obs.NewRun("subsetcoord-test")})
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(ts.Close)
+		if i > 0 {
+			workers += ","
+		}
+		workers += ts.URL
+	}
+
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "tiny.trace")
+	f, err := os.Create(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.EncodeStream(f, w); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout bytes.Buffer
+	cfg := config{
+		workers:   workers,
+		tracePath: tracePath,
+		gridCore:  "0.5,1.0,1.5",
+		gridMem:   "0.8,1.2",
+		sweepOut:  filepath.Join(dir, "run.json"),
+		logLevel:  "off",
+		out:       &stdout,
+	}
+	if err := execute(context.Background(), cfg); err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	if stdout.String() != refTable.String() {
+		t.Fatalf("stdout differs from sequential table\nseq:\n%s\ngot:\n%s", refTable.String(), stdout.String())
+	}
+	out, err := os.ReadFile(cfg.sweepOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, refEnc) {
+		t.Fatal("-sweep-out differs from the sequential run manifest")
+	}
+}
+
+// TestExecuteWorkloadFlag: pointing the tool at a pre-registered
+// fingerprint (no -trace) works against a fleet that already has it.
+func TestExecuteWorkloadFlag(t *testing.T) {
+	w := tracetest.Tiny()
+	s := serve.New(serve.Options{Run: obs.NewRun("subsetcoord-test")})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	var buf bytes.Buffer
+	if err := trace.EncodeStream(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/v1/workloads", "application/octet-stream", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	var stdout bytes.Buffer
+	cfg := config{
+		workers:  ts.URL,
+		workload: w.Fingerprint().String(),
+		gridCore: "0.5,1.0",
+		logLevel: "off",
+		out:      &stdout,
+	}
+	if err := execute(context.Background(), cfg); err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	if stdout.Len() == 0 {
+		t.Fatal("no sweep table on stdout")
+	}
+}

@@ -51,6 +51,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -153,15 +154,32 @@ func execute(ctx context.Context, cfg config) error {
 		Run:            run,
 	})
 
+	// Registry persistence: rebuild the workload registry from the cache
+	// dir's workload store before the listener opens, so a relaunched
+	// worker serves shard dispatches for everything it knew — no
+	// re-upload, no window where a known fingerprint answers 404.
+	if restored, err := app.RestoreWorkloads(ctx); err != nil {
+		return fmt.Errorf("restoring workloads: %w", err)
+	} else if restored > 0 {
+		run.Log.Info("registry restored from cache dir", "workloads", restored)
+		fmt.Printf("restored %d workload(s) from cache dir\n", restored)
+	}
+
+	// Listen explicitly (not ListenAndServe) so "-addr 127.0.0.1:0"
+	// binds an ephemeral port and the resolved address is printed —
+	// the hook tests and scripted topologies parse it.
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return fmt.Errorf("listening on %s: %w", cfg.addr, err)
+	}
 	httpSrv := &http.Server{
-		Addr:              cfg.addr,
 		Handler:           app.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errCh := make(chan error, 1)
-	go func() { errCh <- httpSrv.ListenAndServe() }()
-	run.Log.Info("subsetd listening", "addr", cfg.addr, "strict", cfg.strict, "cache", rcache != nil)
-	fmt.Printf("subsetd listening on %s\n", cfg.addr)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	run.Log.Info("subsetd listening", "addr", ln.Addr().String(), "strict", cfg.strict, "cache", rcache != nil)
+	fmt.Printf("subsetd listening on %s\n", ln.Addr())
 
 	var serveErr error
 	select {

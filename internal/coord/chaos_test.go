@@ -1,0 +1,232 @@
+package coord
+
+import (
+	"bufio"
+	"context"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/tracetest"
+)
+
+// subsetdProc is one real subsetd worker process under test control.
+type subsetdProc struct {
+	cmd      *exec.Cmd
+	addr     string // resolved listen address, parsed from stdout
+	cacheDir string
+}
+
+func (p *subsetdProc) url() string { return "http://" + p.addr }
+
+// buildSubsetd compiles the real daemon binary once per test.
+func buildSubsetd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "subsetd")
+	cmd := exec.Command("go", "build", "-o", bin, "repro/cmd/subsetd")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building subsetd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startSubsetd launches one subsetd on addr (use "127.0.0.1:0" for an
+// ephemeral port) with the given cache dir, and waits for its
+// "subsetd listening on ..." stdout line.
+func startSubsetd(t *testing.T, bin, addr, cacheDir string) *subsetdProc {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", addr, "-cache-dir", cacheDir, "-log-level", "off")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &subsetdProc{cmd: cmd, cacheDir: cacheDir}
+	t.Cleanup(func() {
+		if p.cmd.Process != nil {
+			p.cmd.Process.Kill()
+			p.cmd.Wait()
+		}
+	})
+
+	lines := bufio.NewScanner(stdout)
+	deadline := time.After(30 * time.Second)
+	got := make(chan string, 1)
+	go func() {
+		for lines.Scan() {
+			if rest, ok := strings.CutPrefix(lines.Text(), "subsetd listening on "); ok {
+				got <- rest
+				break
+			}
+		}
+		// Keep draining so the child never blocks on a full pipe.
+		for lines.Scan() {
+		}
+	}()
+	select {
+	case p.addr = <-got:
+	case <-deadline:
+		t.Fatalf("subsetd on %s never reported its listen address", addr)
+	}
+	return p
+}
+
+// TestChaosKillWorkerMidSweep is the chaos arm, against real
+// processes: three subsetd workers, one SIGKILLed the moment it starts
+// taking dispatches, then relaunched on the same port and cache dir.
+// The relaunch must rebuild its registry from the cache dir (no
+// re-upload from the coordinator), and the merged manifest and
+// rendered table must be byte-identical to an undisturbed sequential
+// run.
+func TestChaosKillWorkerMidSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes; skipped in -short")
+	}
+	bin := buildSubsetd(t)
+	procs := make([]*subsetdProc, 3)
+	urls := make([]string, 3)
+	for i := range procs {
+		procs[i] = startSubsetd(t, bin, "127.0.0.1:0", t.TempDir())
+		urls[i] = procs[i].url()
+	}
+	victim := procs[2]
+
+	w := detWorkload(t, 7)
+	core := []float64{0.5, 0.7, 0.9, 1.1, 1.3, 1.5, 1.7, 2.0}
+	mem := []float64{0.6, 0.8, 1.0, 1.2}
+	refEnc, refTable := seqRef(t, w, core, mem)
+
+	// Kill the victim on its first dispatch — synchronously, from the
+	// event hook, so there is provably in-flight work against it —
+	// then relaunch it on the same port and cache dir shortly after.
+	var killOnce sync.Once
+	relaunched := make(chan struct{})
+	co, err := New(Options{
+		Workers:           urls,
+		ShardTimeout:      10 * time.Second,
+		AttemptsPerWorker: 10,
+		Backoff:           100 * time.Millisecond,
+		MaxAttempts:       60,
+		OnEvent: func(ev Event) {
+			if ev.Kind != EventDispatch || ev.Worker != victim.url() {
+				return
+			}
+			killOnce.Do(func() {
+				if err := victim.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+					t.Errorf("kill -9 victim: %v", err)
+				}
+				victim.cmd.Wait()
+				go func() {
+					defer close(relaunched)
+					time.Sleep(200 * time.Millisecond)
+					startSubsetd(t, bin, victim.addr, victim.cacheDir)
+				}()
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Register(context.Background(), streamBytes(t, w)); err != nil {
+		t.Fatal(err)
+	}
+	rm, st, err := co.Sweep(context.Background(), core, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstRef(t, rm, refEnc, refTable)
+	if st.Completed != st.Shards {
+		t.Fatalf("completed %d of %d shards", st.Completed, st.Shards)
+	}
+	// The kill interrupted in-flight work: the coordinator must have
+	// recovered via same-worker retry, a steal, or both.
+	if st.Retries+st.Steals < 1 {
+		t.Fatalf("no retries or steals recorded across the kill: %+v", st)
+	}
+	// Registry persistence, not re-upload, put the relaunched worker
+	// back in service: the coordinator never repaired a 404.
+	if st.Reuploads != 0 {
+		t.Fatalf("Reuploads = %d; the relaunched worker should have restored its own registry", st.Reuploads)
+	}
+
+	// And the relaunched process itself must list the workload,
+	// restored from the cache dir before it started listening.
+	<-relaunched
+	fp := w.Fingerprint().String()
+	resp, err := http.Get(victim.url() + "/v1/workloads/" + fp)
+	if err != nil {
+		t.Fatalf("relaunched worker unreachable: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("relaunched worker does not know workload %s: %d: %s", fp, resp.StatusCode, body)
+	}
+}
+
+// TestChaosRelaunchServesFromRestoredRegistry drives the persistence
+// path without the mid-sweep kill: upload to a worker, kill -9 it,
+// relaunch on the same cache dir, and sweep against the relaunch with
+// a coordinator that holds NO trace bytes — any 404 would be fatal, so
+// success proves the registry came back from disk.
+func TestChaosRelaunchServesFromRestoredRegistry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes; skipped in -short")
+	}
+	bin := buildSubsetd(t)
+	dir := t.TempDir()
+	p1 := startSubsetd(t, bin, "127.0.0.1:0", dir)
+
+	w := tracetest.Tiny()
+	core, mem := []float64{0.5, 1.0, 1.5}, []float64{1.0}
+	refEnc, refTable := seqRef(t, w, core, mem)
+
+	up, err := New(Options{Workers: []string{p1.url()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := up.Register(context.Background(), streamBytes(t, w))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := p1.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	p1.cmd.Wait()
+	p2 := startSubsetd(t, bin, p1.addr, dir)
+
+	co, err := New(Options{Workers: []string{p2.url()}, AttemptsPerWorker: 1, MaxAttempts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := co.SetWorkload(fp); err != nil {
+		t.Fatal(err)
+	}
+	rm, st, err := co.Sweep(context.Background(), core, mem)
+	if err != nil {
+		t.Fatalf("sweep against restored registry: %v", err)
+	}
+	checkAgainstRef(t, rm, refEnc, refTable)
+	if st.Reuploads != 0 {
+		t.Fatalf("Reuploads = %d with no trace bytes retained — impossible", st.Reuploads)
+	}
+
+	// The store file itself is the durable artifact; confirm it exists
+	// where the next relaunch will look.
+	store := filepath.Join(dir, "workloads", fp+".s3dw")
+	if _, err := os.Stat(store); err != nil {
+		t.Fatalf("workload store file missing: %v", err)
+	}
+}

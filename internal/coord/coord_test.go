@@ -1,0 +1,527 @@
+package coord
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/tracetest"
+)
+
+func TestNewValidatesWorkers(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("no workers should be rejected")
+	}
+	if _, err := New(Options{Workers: []string{"http://a", ""}}); err == nil {
+		t.Fatal("blank worker URL should be rejected")
+	}
+}
+
+func TestSetWorkloadValidatesFingerprint(t *testing.T) {
+	co, err := New(Options{Workers: []string{"http://a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", "zz", "deadbeef", strings.Repeat("q", 64)} {
+		if err := co.SetWorkload(bad); err == nil {
+			t.Fatalf("SetWorkload(%q) should fail", bad)
+		}
+	}
+	if _, _, err := co.Sweep(context.Background(), nil, nil); err == nil {
+		t.Fatal("sweep without a workload should fail")
+	}
+}
+
+func TestSweepRejectsOversizedGrid(t *testing.T) {
+	co, err := New(Options{Workers: []string{"http://a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := co.SetWorkload(strings.Repeat("ab", 32)); err != nil {
+		t.Fatal(err)
+	}
+	big := make([]float64, 64)
+	for i := range big {
+		big[i] = 0.5 + 0.01*float64(i)
+	}
+	if _, _, err := co.Sweep(context.Background(), big, big); err == nil {
+		t.Fatal("grid beyond the worker cap should be rejected before dispatch")
+	}
+}
+
+// shardSpecOf pulls the shard spec out of a /v1/shard/sweep body so
+// intercepting handlers can key behavior per shard.
+func shardSpecOf(t testing.TB, r *http.Request) (string, []byte) {
+	t.Helper()
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		t.Errorf("reading intercepted body: %v", err)
+		return "", nil
+	}
+	var req serve.ShardSweepRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		t.Errorf("decoding intercepted body: %v", err)
+	}
+	return req.Shard, body
+}
+
+// TestSweepRetriesThroughShedding: a worker shedding load (429, no
+// Retry-After hint) is retried on backoff until it admits the request;
+// the result is still byte-identical.
+func TestSweepRetriesThroughShedding(t *testing.T) {
+	w := tracetest.Tiny()
+	core, mem := []float64{0.5, 1.0, 1.5}, []float64{1.0}
+	refEnc, refTable := seqRef(t, w, core, mem)
+
+	real := startWorker(t, "")
+	var sheds atomic.Int32
+	proxy := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/shard/sweep" && sheds.Add(1) <= 2 {
+			rw.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(rw, `{"error": "test shed", "class": "overloaded"}`)
+			return
+		}
+		forward(rw, r, real)
+	}))
+	t.Cleanup(proxy.Close)
+
+	co, err := New(Options{Workers: []string{proxy.URL}, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Register(context.Background(), streamBytes(t, w)); err != nil {
+		t.Fatal(err)
+	}
+	rm, st, err := co.Sweep(context.Background(), core, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstRef(t, rm, refEnc, refTable)
+	if st.Retries < 2 {
+		t.Fatalf("Retries = %d, want >= 2 (two sheds)", st.Retries)
+	}
+}
+
+// forward proxies one request to another base URL, copying status,
+// headers and body — the test fleet's man-in-the-middle.
+func forward(rw http.ResponseWriter, r *http.Request, baseURL string) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusBadGateway)
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, baseURL+r.URL.Path, strings.NewReader(string(body)))
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusBadGateway)
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			rw.Header().Add(k, v)
+		}
+	}
+	rw.WriteHeader(resp.StatusCode)
+	io.Copy(rw, resp.Body)
+}
+
+// TestSweepHonorsRetryAfter: a 429 carrying Retry-After: 1 must hold
+// the retry back ~a full second even though the configured backoff is
+// a millisecond — the server's hint wins.
+func TestSweepHonorsRetryAfter(t *testing.T) {
+	w := tracetest.Tiny()
+	core, mem := []float64{0.5, 1.0}, []float64{1.0}
+	refEnc, refTable := seqRef(t, w, core, mem)
+
+	real := startWorker(t, "")
+	var mu sync.Mutex
+	var shedAt, retryAt time.Time
+	proxy := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/shard/sweep" {
+			mu.Lock()
+			first := shedAt.IsZero()
+			if first {
+				shedAt = time.Now()
+			} else if retryAt.IsZero() {
+				retryAt = time.Now()
+			}
+			mu.Unlock()
+			if first {
+				rw.Header().Set("Retry-After", "1")
+				rw.WriteHeader(http.StatusTooManyRequests)
+				fmt.Fprint(rw, `{"error": "test shed", "class": "overloaded"}`)
+				return
+			}
+		}
+		forward(rw, r, real)
+	}))
+	t.Cleanup(proxy.Close)
+
+	co, err := New(Options{Workers: []string{proxy.URL}, Shards: 1, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Register(context.Background(), streamBytes(t, w)); err != nil {
+		t.Fatal(err)
+	}
+	rm, st, err := co.Sweep(context.Background(), core, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstRef(t, rm, refEnc, refTable)
+	if st.Retries < 1 {
+		t.Fatalf("Retries = %d, want >= 1", st.Retries)
+	}
+	mu.Lock()
+	gap := retryAt.Sub(shedAt)
+	mu.Unlock()
+	if gap < 900*time.Millisecond {
+		t.Fatalf("retry after %v; Retry-After: 1 was not honored", gap)
+	}
+}
+
+// TestSweepStealsFromHungWorker: a worker that accepts dispatches and
+// never answers loses its shards at ShardTimeout; the healthy worker
+// finishes the sweep and the result is unchanged.
+func TestSweepStealsFromHungWorker(t *testing.T) {
+	w := tracetest.Tiny()
+	core, mem := []float64{0.5, 1.0, 1.5, 2.0}, []float64{1.0}
+	refEnc, refTable := seqRef(t, w, core, mem)
+
+	good := startWorker(t, "")
+	hungReal := startWorker(t, "") // answers uploads so Register succeeds
+	hung := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/shard/sweep" {
+			// Drain the body so the server's abort detection runs, then
+			// hold until the coordinator abandons us.
+			io.Copy(io.Discard, r.Body)
+			<-r.Context().Done()
+			return
+		}
+		forward(rw, r, hungReal)
+	}))
+	t.Cleanup(hung.Close)
+
+	co, err := New(Options{
+		Workers:      []string{good, hung.URL},
+		ShardTimeout: 50 * time.Millisecond,
+		Backoff:      time.Millisecond,
+		MaxAttempts:  50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Register(context.Background(), streamBytes(t, w)); err != nil {
+		t.Fatal(err)
+	}
+	rm, st, err := co.Sweep(context.Background(), core, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstRef(t, rm, refEnc, refTable)
+	if st.Steals < 1 {
+		t.Fatalf("Steals = %d, want >= 1 (the hung worker's shards)", st.Steals)
+	}
+	hc := st.PerWorker[hung.URL]
+	if hc.Completed != 0 || hc.Failures < 1 {
+		t.Fatalf("hung worker counters %+v: want 0 completions, >= 1 failure", hc)
+	}
+	if gc := st.PerWorker[good]; gc.Completed != st.Shards {
+		t.Fatalf("good worker completed %d of %d shards", gc.Completed, st.Shards)
+	}
+}
+
+// TestSweepSurvivesDeadWorker: a worker that is simply gone (connection
+// refused) burns its retry budget and its shards are stolen.
+func TestSweepSurvivesDeadWorker(t *testing.T) {
+	w := tracetest.Tiny()
+	core, mem := []float64{0.5, 1.0, 1.5, 2.0}, []float64{1.0}
+	refEnc, refTable := seqRef(t, w, core, mem)
+
+	good := startWorker(t, "")
+	deadSrv := httptest.NewServer(http.NotFoundHandler())
+	dead := deadSrv.URL
+	deadSrv.Close() // the port is now refused
+
+	// Register on the live worker only, then point a mixed-fleet
+	// coordinator at the known fingerprint.
+	solo, err := New(Options{Workers: []string{good}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := solo.Register(context.Background(), streamBytes(t, w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := New(Options{
+		Workers:           []string{good, dead},
+		AttemptsPerWorker: 2,
+		Backoff:           time.Millisecond,
+		MaxAttempts:       50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := co.SetWorkload(fp); err != nil {
+		t.Fatal(err)
+	}
+	rm, st, err := co.Sweep(context.Background(), core, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstRef(t, rm, refEnc, refTable)
+	dc := st.PerWorker[dead]
+	if dc.Completed != 0 {
+		t.Fatalf("dead worker completed %d shards", dc.Completed)
+	}
+	if dc.Failures < 1 && st.Steals < 1 {
+		t.Fatalf("dead worker produced neither failures nor steals: %+v", st)
+	}
+}
+
+// TestSweepFailsWhenFleetCannotConverge: every worker dead means every
+// shard exhausts MaxAttempts — the sweep must fail loudly and promptly
+// instead of spinning forever.
+func TestSweepFailsWhenFleetCannotConverge(t *testing.T) {
+	deadSrv := httptest.NewServer(http.NotFoundHandler())
+	dead := deadSrv.URL
+	deadSrv.Close()
+
+	co, err := New(Options{
+		Workers:           []string{dead},
+		Shards:            1,
+		AttemptsPerWorker: 1,
+		MaxAttempts:       3,
+		Backoff:           time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := co.SetWorkload(strings.Repeat("ab", 32)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var sweepErr error
+	go func() {
+		_, _, sweepErr = co.Sweep(context.Background(), []float64{0.5, 1.0}, nil)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("sweep against a dead fleet did not terminate")
+	}
+	if sweepErr == nil || !strings.Contains(sweepErr.Error(), "incomplete after") {
+		t.Fatalf("sweep error = %v, want the MaxAttempts exhaustion failure", sweepErr)
+	}
+}
+
+// TestSweepRepairsForgetfulWorker: a worker answering 404
+// unknown_workload mid-sweep (relaunched without its registry) gets the
+// trace re-uploaded and then serves its shards — no operator in the
+// loop, same bytes out.
+func TestSweepRepairsForgetfulWorker(t *testing.T) {
+	w := tracetest.Tiny()
+	core, mem := []float64{0.5, 1.0, 1.5}, []float64{1.0}
+	refEnc, refTable := seqRef(t, w, core, mem)
+
+	// The proxy swaps backends after registration: reborn has an empty
+	// registry, exactly like a process relaunched without persistence.
+	original := startWorker(t, "")
+	reborn := startWorker(t, "")
+	var backend atomic.Value
+	backend.Store(original)
+	proxy := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		forward(rw, r, backend.Load().(string))
+	}))
+	t.Cleanup(proxy.Close)
+
+	co, err := New(Options{Workers: []string{proxy.URL}, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Register(context.Background(), streamBytes(t, w)); err != nil {
+		t.Fatal(err)
+	}
+	backend.Store(reborn) // amnesia strikes
+
+	rm, st, err := co.Sweep(context.Background(), core, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstRef(t, rm, refEnc, refTable)
+	if st.Reuploads < 1 {
+		t.Fatalf("Reuploads = %d, want >= 1 (the 404 repair)", st.Reuploads)
+	}
+}
+
+// TestSweepRejectsCorruptManifest: a worker returning undecodable
+// manifests never contributes; its shards fail over to the healthy
+// worker and the merged result is untouched.
+func TestSweepRejectsCorruptManifest(t *testing.T) {
+	w := tracetest.Tiny()
+	core, mem := []float64{0.5, 1.0, 1.5, 2.0}, []float64{1.0}
+	refEnc, refTable := seqRef(t, w, core, mem)
+
+	good := startWorker(t, "")
+	evilReal := startWorker(t, "")
+	evil := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/shard/sweep" {
+			rw.Header().Set("Content-Type", "application/json")
+			fmt.Fprint(rw, `{"shard": "1/1", "manifest": "bm90IGEgbWFuaWZlc3Q="}`)
+			return
+		}
+		forward(rw, r, evilReal)
+	}))
+	t.Cleanup(evil.Close)
+
+	co, err := New(Options{
+		Workers:     []string{good, evil.URL},
+		Backoff:     5 * time.Millisecond,
+		MaxAttempts: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Register(context.Background(), streamBytes(t, w)); err != nil {
+		t.Fatal(err)
+	}
+	rm, st, err := co.Sweep(context.Background(), core, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstRef(t, rm, refEnc, refTable)
+	ec := st.PerWorker[evil.URL]
+	if ec.Completed != 0 || ec.Failures < 1 {
+		t.Fatalf("corrupt worker counters %+v: want 0 completions, >= 1 failure", ec)
+	}
+}
+
+// TestSweepDuplicateFromStolenWorker orchestrates the deliberate
+// duplicate: shard 1's first attempt is held past ShardTimeout (so it
+// is stolen and re-dispatched), then released only after the
+// re-dispatch completed the shard — its late manifest must be recorded
+// as a duplicate, ride into the merge, and change nothing. The final
+// shard is gated open until the duplicate lands, so the assertion is
+// deterministic, not a race.
+func TestSweepDuplicateFromStolenWorker(t *testing.T) {
+	w := tracetest.Tiny()
+	core, mem := []float64{0.5, 1.0, 1.5}, []float64{1.0}
+	refEnc, refTable := seqRef(t, w, core, mem)
+
+	gateFirst := make(chan struct{}) // holds shard 1/3's first attempt
+	gateLast := make(chan struct{})  // holds every shard 3/3 attempt
+	var firstSeen atomic.Bool
+
+	real := startWorker(t, "")
+	proxy := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/shard/sweep" {
+			spec, body := shardSpecOf(t, r)
+			switch {
+			case spec == "1/3" && firstSeen.CompareAndSwap(false, true):
+				select {
+				case <-gateFirst:
+				case <-r.Context().Done():
+					return
+				}
+			case spec == "3/3":
+				select {
+				case <-gateLast:
+				case <-r.Context().Done():
+					return
+				}
+			}
+			replayTo(rw, r, real, body)
+			return
+		}
+		forward(rw, r, real)
+	}))
+	t.Cleanup(proxy.Close)
+
+	var openFirst, openLast sync.Once
+	co, err := New(Options{
+		Workers:      []string{proxy.URL},
+		Shards:       3,
+		ShardTimeout: 50 * time.Millisecond,
+		Backoff:      time.Millisecond,
+		MaxAttempts:  30,
+		OnEvent: func(ev Event) {
+			if ev.Shard != 0 {
+				return
+			}
+			switch ev.Kind {
+			case EventComplete:
+				// The re-dispatch finished shard 1; let the abandoned
+				// original answer now.
+				openFirst.Do(func() { close(gateFirst) })
+			case EventDuplicate:
+				// The duplicate landed; the sweep may finish.
+				openLast.Do(func() { close(gateLast) })
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Register(context.Background(), streamBytes(t, w)); err != nil {
+		t.Fatal(err)
+	}
+	rm, st, err := co.Sweep(context.Background(), core, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstRef(t, rm, refEnc, refTable)
+	if st.Duplicates < 1 {
+		t.Fatalf("Duplicates = %d, want >= 1 (the stolen-then-recovered attempt)", st.Duplicates)
+	}
+	if st.Steals < 2 {
+		t.Fatalf("Steals = %d, want >= 2 (shard 1's hold and shard 3's gate)", st.Steals)
+	}
+}
+
+// replayTo forwards a request whose body was already consumed.
+func replayTo(rw http.ResponseWriter, r *http.Request, baseURL string, body []byte) {
+	r2 := r.Clone(r.Context())
+	r2.Body = io.NopCloser(strings.NewReader(string(body)))
+	forward(rw, r2, baseURL)
+}
+
+// TestRegisterRejectsDivergentFleet: workers reporting different
+// fingerprints for the same upload would silently split the sweep —
+// Register must refuse to proceed.
+func TestRegisterRejectsDivergentFleet(t *testing.T) {
+	fake := func(fp string) string {
+		ts := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+			rw.WriteHeader(http.StatusCreated)
+			fmt.Fprintf(rw, `{"fingerprint": %q}`, fp)
+		}))
+		t.Cleanup(ts.Close)
+		return ts.URL
+	}
+	co, err := New(Options{Workers: []string{
+		fake(strings.Repeat("aa", 32)),
+		fake(strings.Repeat("bb", 32)),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = co.Register(context.Background(), []byte("anything"))
+	if err == nil || !strings.Contains(err.Error(), "disagrees") {
+		t.Fatalf("register against a divergent fleet: %v, want disagreement error", err)
+	}
+}

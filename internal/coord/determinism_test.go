@@ -1,0 +1,115 @@
+package coord
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/tracetest"
+)
+
+// TestCoordSweepByteIdenticalToSequential is the coordinator's
+// headline contract: for every corpus profile and seed, fanning the
+// sweep across 1, 2 or 3 real HTTP workers — each with its own private
+// cache directory — merges to a run manifest byte-identical to the
+// sequential fold, and renders a byte-identical table. Run under
+// -race in CI.
+func TestCoordSweepByteIdenticalToSequential(t *testing.T) {
+	core := []float64{0.5, 0.75, 1.0, 1.25}
+	mem := []float64{0.8, 1.2}
+	for _, p := range detProfiles() {
+		for _, seed := range []uint64{7, 1234} {
+			t.Run(fmt.Sprintf("%s/seed%d", p.Name, seed), func(t *testing.T) {
+				w, err := tracetest.CachedWorkload(p, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				refEnc, refTable := seqRef(t, w, core, mem)
+				tb := streamBytes(t, w)
+				for _, n := range []int{1, 2, 3} {
+					urls := startFleet(t, n)
+					co, err := New(Options{Workers: urls})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, err := co.Register(context.Background(), tb); err != nil {
+						t.Fatalf("%d workers: register: %v", n, err)
+					}
+					rm, st, err := co.Sweep(context.Background(), core, mem)
+					if err != nil {
+						t.Fatalf("%d workers: sweep: %v", n, err)
+					}
+					checkAgainstRef(t, rm, refEnc, refTable)
+					if st.Completed != st.Shards {
+						t.Fatalf("%d workers: completed %d of %d shards", n, st.Completed, st.Shards)
+					}
+					if st.Steals != 0 || st.Duplicates != 0 || st.Retries != 0 {
+						t.Fatalf("%d healthy workers: unexpected churn: %+v", n, st)
+					}
+					done := 0
+					for _, wc := range st.PerWorker {
+						done += wc.Completed
+					}
+					if done != st.Shards {
+						t.Fatalf("%d workers: per-worker completions sum to %d, want %d", n, done, st.Shards)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCoordSweepDefaultGrid: empty clock lists select the same default
+// grid the sequential tools use, so default-flag invocations stay
+// byte-comparable too.
+func TestCoordSweepDefaultGrid(t *testing.T) {
+	w := tracetest.Tiny()
+	refEnc, refTable := seqRef(t, w, nil, nil)
+	co, err := New(Options{Workers: startFleet(t, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Register(context.Background(), streamBytes(t, w)); err != nil {
+		t.Fatal(err)
+	}
+	rm, _, err := co.Sweep(context.Background(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstRef(t, rm, refEnc, refTable)
+}
+
+// TestCoordSweepRepeatable: two sweeps over the same fleet (the second
+// fully cache-warmed) return identical bytes — warm answers are the
+// same answers.
+func TestCoordSweepRepeatable(t *testing.T) {
+	w := tracetest.Tiny()
+	core := []float64{0.5, 1.0, 1.5}
+	mem := []float64{1.0}
+	co, err := New(Options{Workers: startFleet(t, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Register(context.Background(), streamBytes(t, w)); err != nil {
+		t.Fatal(err)
+	}
+	first, _, err := co.Sweep(context.Background(), core, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, _, err := co.Sweep(context.Background(), core, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := first.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := second.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("repeat sweep over a warm fleet returned different bytes")
+	}
+}

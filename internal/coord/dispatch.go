@@ -1,0 +1,531 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/gpu"
+	"repro/internal/obs"
+	"repro/internal/obs/export"
+	"repro/internal/serve"
+	"repro/internal/shard"
+	"repro/internal/sweep"
+)
+
+// Sweep plans the grid into shards, dispatches them across the fleet,
+// and merges the returned manifests into the run manifest — byte-
+// identical to shard.RunSequential over the same workload and grid.
+// Empty clock lists default exactly like /v1/sweep and gpusim: the
+// standard core ladder, memory at 1.0.
+func (co *Coordinator) Sweep(ctx context.Context, coreClocks, memClocks []float64) (*shard.RunManifest, Stats, error) {
+	if co.fpHex == "" {
+		return nil, Stats{}, fmt.Errorf("coord: no workload registered (call Register or SetWorkload)")
+	}
+	if len(coreClocks) == 0 {
+		coreClocks = sweep.DefaultCoreClocks()
+	}
+	if len(memClocks) == 0 {
+		memClocks = []float64{1.0}
+	}
+	if n := len(coreClocks) * len(memClocks); n > serve.MaxSweepConfigs {
+		return nil, Stats{}, fmt.Errorf("coord: grid has %d configs, workers cap at %d", n, serve.MaxSweepConfigs)
+	}
+	cfgs := sweep.Grid(gpu.BaseConfig(), coreClocks, memClocks)
+	_, digest, err := shard.Plan(co.fp, cfgs)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	nShards := co.opt.Shards
+	if nShards > len(cfgs) {
+		nShards = len(cfgs)
+	}
+
+	ctx, sp := obs.StartSpan(ctx, "coord.sweep")
+	defer sp.End()
+	sp.AddItems(int64(nShards))
+
+	d := newDispatcher(co, cfgs, coreClocks, memClocks, digest, nShards)
+	rm, stats, err := d.run(ctx)
+	co.recordStats(stats)
+	return rm, stats, err
+}
+
+// recordStats lands a sweep's accounting in the metrics registry:
+// totals plus a per-worker completed-shards counter, so /metrics-style
+// scrapes and the run manifest show how the fleet split the work.
+func (co *Coordinator) recordStats(st Stats) {
+	m := co.run.Metrics()
+	m.Counter("coord.shards").Add(int64(st.Shards))
+	m.Counter("coord.attempts").Add(int64(st.Attempts))
+	m.Counter("coord.completed").Add(int64(st.Completed))
+	m.Counter("coord.duplicates").Add(int64(st.Duplicates))
+	m.Counter("coord.retries").Add(int64(st.Retries))
+	m.Counter("coord.steals").Add(int64(st.Steals))
+	m.Counter("coord.reuploads").Add(int64(st.Reuploads))
+	for w, wc := range st.PerWorker {
+		m.Counter(export.Label("coord.worker_completed", "worker", w)).Add(int64(wc.Completed))
+		m.Counter(export.Label("coord.worker_failures", "worker", w)).Add(int64(wc.Failures))
+	}
+}
+
+// dispatcher runs one sweep's work-stealing loop. Shard indexes flow
+// through a queue; each worker URL gets one goroutine pulling from it.
+// A shard is in exactly one place at a time — the queue, or one
+// worker's in-flight attempt — until a timeout abandons an attempt to
+// the background, which is the one (deliberate) source of duplicated
+// work.
+type dispatcher struct {
+	co      *Coordinator
+	cfgs    []gpu.Config
+	core    []float64
+	mem     []float64
+	digest  shard.GridDigest
+	nShards int
+
+	queue   chan int
+	allDone chan struct{}
+	sem     chan struct{} // MaxInflight semaphore; nil = unlimited
+
+	mu        sync.Mutex
+	manifests []*shard.Manifest
+	done      []bool
+	pulls     []int // dispatch attempts consumed per shard
+	completed int
+	sealed    bool // set before merge: late duplicates only count, never join
+	fatal     error
+	stats     Stats
+}
+
+func newDispatcher(co *Coordinator, cfgs []gpu.Config, core, mem []float64, digest shard.GridDigest, nShards int) *dispatcher {
+	d := &dispatcher{
+		co:      co,
+		cfgs:    cfgs,
+		core:    core,
+		mem:     mem,
+		digest:  digest,
+		nShards: nShards,
+		// Capacity covers the worst case: every shard requeued once per
+		// consumed attempt plus its initial entry, so requeue can never
+		// block a worker goroutine.
+		queue:   make(chan int, nShards*(co.opt.MaxAttempts+1)),
+		allDone: make(chan struct{}),
+		done:    make([]bool, nShards),
+		pulls:   make([]int, nShards),
+		stats:   Stats{Shards: nShards, PerWorker: make(map[string]*WorkerCounters)},
+	}
+	if co.opt.MaxInflight > 0 {
+		d.sem = make(chan struct{}, co.opt.MaxInflight)
+	}
+	for _, u := range co.opt.Workers {
+		d.stats.PerWorker[u] = &WorkerCounters{}
+	}
+	for i := 0; i < nShards; i++ {
+		d.queue <- i
+	}
+	return d
+}
+
+func (d *dispatcher) run(ctx context.Context) (*shard.RunManifest, Stats, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	for _, u := range d.co.opt.Workers {
+		wg.Add(1)
+		go func(u string) {
+			defer wg.Done()
+			d.workerLoop(ctx, cancel, u)
+		}(u)
+	}
+	select {
+	case <-d.allDone:
+	case <-ctx.Done():
+	}
+	cancel()
+	wg.Wait()
+
+	d.mu.Lock()
+	d.sealed = true
+	ms := make([]*shard.Manifest, len(d.manifests))
+	copy(ms, d.manifests)
+	fatal := d.fatal
+	completed := d.completed
+	d.mu.Unlock()
+
+	if fatal != nil {
+		return nil, d.snapshot(), fatal
+	}
+	if completed < d.nShards {
+		return nil, d.snapshot(), fmt.Errorf("coord: sweep canceled with %d/%d shards complete: %w",
+			completed, d.nShards, ctx.Err())
+	}
+	t0 := time.Now()
+	rm, err := shard.Merge(ms)
+	d.mu.Lock()
+	d.stats.MergeNs = time.Since(t0).Nanoseconds()
+	d.mu.Unlock()
+	if err != nil {
+		return nil, d.snapshot(), err
+	}
+	d.co.run.Logger().Info("sweep merged", "shards", d.nShards,
+		"workers", len(d.co.opt.Workers), "digest", rm.Digest[:12])
+	return rm, d.snapshot(), nil
+}
+
+// snapshot deep-copies the stats so callers never race the background
+// collectors that may still be accounting abandoned attempts.
+func (d *dispatcher) snapshot() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.stats
+	st.PerWorker = make(map[string]*WorkerCounters, len(d.stats.PerWorker))
+	for k, v := range d.stats.PerWorker {
+		c := *v
+		st.PerWorker[k] = &c
+	}
+	return st
+}
+
+// attemptOutcome is what one dispatch attempt (one queue pull, up to
+// AttemptsPerWorker tries on one worker) came to.
+type attemptOutcome int
+
+const (
+	attemptOK     attemptOutcome = iota // manifest recorded
+	attemptFailed                       // no manifest; requeue for another worker
+	attemptStolen                       // timed out; requeued, request still running
+)
+
+// workerLoop pulls shards for one worker until the sweep completes or
+// dies. Consecutive failed pulls back the loop off exponentially so a
+// dead worker polls the queue instead of spinning on it.
+func (d *dispatcher) workerLoop(ctx context.Context, cancel context.CancelFunc, workerURL string) {
+	consecFails := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-d.allDone:
+			return
+		case idx := <-d.queue:
+			run, abort := d.takePull(idx)
+			if abort {
+				cancel()
+				return
+			}
+			if !run {
+				continue // completed (or stolen copy resolved) while queued
+			}
+			switch d.attempt(ctx, workerURL, idx) {
+			case attemptOK:
+				consecFails = 0
+			case attemptStolen, attemptFailed:
+				d.requeue(idx, workerURL)
+				consecFails++
+				penalty := time.Second
+				if consecFails < 6 {
+					penalty = d.co.opt.Backoff << uint(consecFails)
+					if penalty > time.Second {
+						penalty = time.Second
+					}
+				}
+				sleepCtx(ctx, penalty)
+			}
+		}
+	}
+}
+
+// takePull consumes one of a shard's bounded dispatch attempts. run is
+// false for shards that completed while queued; abort is true when the
+// shard has exhausted MaxAttempts — the sweep cannot converge and must
+// die loudly rather than loop forever.
+func (d *dispatcher) takePull(idx int) (run, abort bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.done[idx] || d.sealed || d.fatal != nil {
+		return false, false
+	}
+	if d.pulls[idx] >= d.co.opt.MaxAttempts {
+		d.fatal = fmt.Errorf("coord: shard %d/%d still incomplete after %d dispatch attempts across the fleet",
+			idx+1, d.nShards, d.pulls[idx])
+		return false, true
+	}
+	d.pulls[idx]++
+	d.stats.Attempts++
+	return true, false
+}
+
+// requeue hands a shard back for stealing.
+func (d *dispatcher) requeue(idx int, fromWorker string) {
+	d.mu.Lock()
+	d.stats.Steals++
+	d.mu.Unlock()
+	d.co.emit(Event{Kind: EventSteal, Shard: idx, Worker: fromWorker})
+	select {
+	case d.queue <- idx:
+	default:
+		// Capacity proof failed — should be unreachable; surface loudly.
+		d.mu.Lock()
+		if d.fatal == nil {
+			d.fatal = fmt.Errorf("coord: internal: requeue overflow on shard %d", idx+1)
+		}
+		d.mu.Unlock()
+	}
+}
+
+// attempt runs one dispatch: up to AttemptsPerWorker tries against one
+// worker, with backoff between retryable failures. A try that outlives
+// ShardTimeout abandons the in-flight request to a background collector
+// and reports attemptStolen.
+func (d *dispatcher) attempt(ctx context.Context, workerURL string, idx int) attemptOutcome {
+	spec := shard.Spec{Index: idx, Count: d.nShards}
+	delay := d.co.opt.Backoff
+	var lastErr error
+	for try := 0; try < d.co.opt.AttemptsPerWorker; try++ {
+		if ctx.Err() != nil {
+			return attemptFailed
+		}
+		if d.sem != nil {
+			select {
+			case d.sem <- struct{}{}:
+			case <-ctx.Done():
+				return attemptFailed
+			}
+		}
+		d.co.emit(Event{Kind: EventDispatch, Shard: idx, Worker: workerURL})
+
+		actx, acancel := context.WithCancel(ctx)
+		t0 := time.Now()
+		resCh := make(chan postResult, 1)
+		go func() {
+			resCh <- d.post(actx, workerURL, spec)
+		}()
+		timer := time.NewTimer(d.co.opt.ShardTimeout)
+
+		var res postResult
+		select {
+		case res = <-resCh:
+			timer.Stop()
+			if d.sem != nil {
+				<-d.sem
+			}
+		case <-timer.C:
+			// Steal: put the shard back for someone else, but leave this
+			// request running — if the slow worker eventually answers,
+			// the collector records its manifest as a duplicate and the
+			// merge's ==-equality rule vouches for it.
+			if d.sem != nil {
+				<-d.sem
+			}
+			go d.collect(idx, workerURL, t0, resCh, acancel)
+			d.noteFailure(workerURL)
+			d.co.emit(Event{Kind: EventWorkerFail, Shard: idx, Worker: workerURL,
+				Err: fmt.Errorf("attempt outlived shard timeout %s", d.co.opt.ShardTimeout)})
+			return attemptStolen
+		case <-ctx.Done():
+			timer.Stop()
+			if d.sem != nil {
+				<-d.sem
+			}
+			acancel()
+			return attemptFailed
+		}
+
+		if res.err == nil && res.m != nil {
+			acancel()
+			d.record(idx, workerURL, res.m, time.Since(t0))
+			return attemptOK
+		}
+		acancel()
+		lastErr = res.err
+		if res.unknownWorkload && len(d.co.traceBytes) > 0 {
+			// The worker lost its registry (relaunched without the cache
+			// dir, or restore raced us). Repair it and burn one try.
+			if _, uerr := d.co.uploadTo(ctx, workerURL, d.co.traceBytes); uerr == nil {
+				d.noteReupload()
+				d.co.emit(Event{Kind: EventReupload, Shard: idx, Worker: workerURL})
+				continue
+			}
+		}
+		if !res.retryable {
+			d.noteFailure(workerURL)
+			d.co.emit(Event{Kind: EventWorkerFail, Shard: idx, Worker: workerURL, Err: res.err})
+			return attemptFailed
+		}
+		d.noteRetry(workerURL)
+		d.co.emit(Event{Kind: EventRetry, Shard: idx, Worker: workerURL, Err: res.err})
+		wait := res.retryAfter
+		if wait <= 0 {
+			wait = delay
+			delay = nextBackoff(delay)
+		}
+		if sleepCtx(ctx, wait) != nil {
+			return attemptFailed
+		}
+	}
+	d.noteFailure(workerURL)
+	d.co.emit(Event{Kind: EventWorkerFail, Shard: idx, Worker: workerURL, Err: lastErr})
+	return attemptFailed
+}
+
+// collect waits out an abandoned attempt. Success still counts: the
+// manifest joins the pool (as the shard's first completion if the
+// thief has not finished, as a duplicate otherwise).
+func (d *dispatcher) collect(idx int, workerURL string, t0 time.Time, resCh <-chan postResult, cancel context.CancelFunc) {
+	defer cancel()
+	res := <-resCh
+	if res.err != nil || res.m == nil {
+		return
+	}
+	d.record(idx, workerURL, res.m, time.Since(t0))
+}
+
+// record admits one manifest. First manifest per shard completes it;
+// any further manifest is a duplicate and rides along into the merge,
+// where the ==-equality rule proves it harmless (or fails the sweep if
+// a worker actually diverged — never silently).
+func (d *dispatcher) record(idx int, workerURL string, m *shard.Manifest, busy time.Duration) {
+	d.mu.Lock()
+	wc := d.worker(workerURL)
+	wc.BusyNs += busy.Nanoseconds()
+	if d.sealed {
+		// The merge already ran; count the duplicate, drop the manifest.
+		d.stats.Duplicates++
+		wc.Duplicates++
+		d.mu.Unlock()
+		d.co.emit(Event{Kind: EventDuplicate, Shard: idx, Worker: workerURL})
+		return
+	}
+	if d.done[idx] {
+		d.stats.Duplicates++
+		wc.Duplicates++
+		d.manifests = append(d.manifests, m)
+		d.mu.Unlock()
+		d.co.emit(Event{Kind: EventDuplicate, Shard: idx, Worker: workerURL})
+		return
+	}
+	d.done[idx] = true
+	d.completed++
+	d.stats.Completed++
+	wc.Completed++
+	d.manifests = append(d.manifests, m)
+	finished := d.completed == d.nShards
+	d.mu.Unlock()
+	d.co.emit(Event{Kind: EventComplete, Shard: idx, Worker: workerURL})
+	if finished {
+		close(d.allDone)
+	}
+}
+
+func (d *dispatcher) worker(u string) *WorkerCounters {
+	wc, ok := d.stats.PerWorker[u]
+	if !ok {
+		wc = &WorkerCounters{}
+		d.stats.PerWorker[u] = wc
+	}
+	return wc
+}
+
+func (d *dispatcher) noteRetry(u string) {
+	d.mu.Lock()
+	d.stats.Retries++
+	d.worker(u).Retries++
+	d.mu.Unlock()
+}
+
+func (d *dispatcher) noteFailure(u string) {
+	d.mu.Lock()
+	d.worker(u).Failures++
+	d.mu.Unlock()
+}
+
+func (d *dispatcher) noteReupload() {
+	d.mu.Lock()
+	d.stats.Reuploads++
+	d.mu.Unlock()
+}
+
+// postResult is one HTTP attempt's outcome.
+type postResult struct {
+	m               *shard.Manifest
+	retryable       bool
+	unknownWorkload bool
+	retryAfter      time.Duration
+	err             error
+}
+
+// post runs one /v1/shard/sweep request and validates the returned
+// manifest against the locally planned sweep identity: workload
+// fingerprint, grid digest, grid size, shard spec. A worker answering
+// for the wrong sweep fails the attempt — never joins the merge pool.
+func (d *dispatcher) post(ctx context.Context, workerURL string, spec shard.Spec) postResult {
+	body, err := json.Marshal(serve.ShardSweepRequest{
+		Workload:   d.co.fpHex,
+		CoreClocks: d.core,
+		MemClocks:  d.mem,
+		Shard:      spec.String(),
+	})
+	if err != nil {
+		return postResult{err: err}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		workerURL+"/v1/shard/sweep", bytes.NewReader(body))
+	if err != nil {
+		return postResult{err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(serve.TraceHeader, fmt.Sprintf("coord-%d-s%dof%d", os.Getpid(), spec.Index+1, spec.Count))
+	resp, err := d.co.opt.HTTP.Do(req)
+	if err != nil {
+		return postResult{retryable: true, err: err}
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return postResult{retryable: true, err: err}
+	}
+	if resp.StatusCode != http.StatusOK {
+		class := errClassOf(raw)
+		pr := postResult{
+			retryAfter: retryAfterHint(resp),
+			err:        fmt.Errorf("shard %s on %s: %s: %s", spec, workerURL, resp.Status, class),
+		}
+		switch resp.StatusCode {
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			pr.retryable = true
+		case http.StatusNotFound:
+			pr.unknownWorkload = class == "unknown_workload"
+			pr.retryable = pr.unknownWorkload
+		}
+		return pr
+	}
+	var sr serve.ShardSweepResponse
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		return postResult{err: fmt.Errorf("shard %s on %s: decoding response: %w", spec, workerURL, err)}
+	}
+	m, err := shard.DecodeManifest(sr.Manifest)
+	if err != nil {
+		return postResult{err: fmt.Errorf("shard %s on %s: %w", spec, workerURL, err)}
+	}
+	switch {
+	case m.Workload != d.co.fp:
+		err = fmt.Errorf("manifest prices workload %x, sweep is %s", m.Workload[:6], d.co.fpHex[:12])
+	case m.Grid != d.digest:
+		err = fmt.Errorf("manifest grid digest %s, planned %s", m.Grid.String()[:12], d.digest.String()[:12])
+	case m.GridSize != len(d.cfgs):
+		err = fmt.Errorf("manifest grid size %d, planned %d", m.GridSize, len(d.cfgs))
+	case m.Shard != spec:
+		err = fmt.Errorf("manifest is for shard %s, asked for %s", m.Shard, spec)
+	}
+	if err != nil {
+		return postResult{err: fmt.Errorf("shard %s on %s: %w", spec, workerURL, err)}
+	}
+	return postResult{m: m}
+}

@@ -1,0 +1,124 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/gpu"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/shard"
+	"repro/internal/sweep"
+	"repro/internal/synth"
+	"repro/internal/trace"
+	"repro/internal/tracetest"
+)
+
+// detProfiles is the three-game corpus at determinism-test scale (the
+// same trim the shard layer's suite uses).
+func detProfiles() []synth.Profile {
+	ps := synth.SuiteProfiles()
+	for i := range ps {
+		ps[i].Frames = 16
+		ps[i].MaterialsPerScene = 30
+		ps[i].SharedMaterials = 8
+		ps[i].Textures = 60
+		ps[i].VSPool = 6
+		ps[i].PSPool = 12
+	}
+	return ps
+}
+
+func detWorkload(t testing.TB, seed uint64) *trace.Workload {
+	t.Helper()
+	w, err := tracetest.CachedWorkload(detProfiles()[0], seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// startWorker runs one in-process subsetd-equivalent worker (the real
+// serve.Server behind a real HTTP listener) and returns its base URL.
+// A non-empty dir gives the worker a disk cache tier.
+func startWorker(t testing.TB, dir string) string {
+	t.Helper()
+	var c *cache.Cache
+	if dir != "" {
+		var err error
+		c, err = cache.New(cache.Config{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := serve.New(serve.Options{Cache: c, Run: obs.NewRun("coord-test-worker")})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// startFleet starts n independent workers, each with its own cache
+// directory — the multi-machine topology, in-process.
+func startFleet(t testing.TB, n int) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := range urls {
+		urls[i] = startWorker(t, t.TempDir())
+	}
+	return urls
+}
+
+func streamBytes(t testing.TB, w *trace.Workload) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.EncodeStream(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// seqRef computes the sequential reference for a clock grid: the
+// encoded run manifest and rendered table every coordinator topology
+// must reproduce byte for byte.
+func seqRef(t testing.TB, w *trace.Workload, core, mem []float64) (encoded []byte, table string) {
+	t.Helper()
+	if len(core) == 0 {
+		core = sweep.DefaultCoreClocks()
+	}
+	if len(mem) == 0 {
+		mem = []float64{1.0}
+	}
+	cfgs := sweep.Grid(gpu.BaseConfig(), core, mem)
+	rm, err := shard.RunSequential(context.Background(), nil, w, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encoded, err = rm.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rm.Render(&buf)
+	return encoded, buf.String()
+}
+
+// checkAgainstRef asserts a coordinator result matches the sequential
+// reference byte for byte, encoded and rendered.
+func checkAgainstRef(t testing.TB, rm *shard.RunManifest, refEnc []byte, refTable string) {
+	t.Helper()
+	got, err := rm.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, refEnc) {
+		t.Fatalf("merged manifest differs from sequential\nseq:  %s\ngot:  %s", refEnc, got)
+	}
+	var buf bytes.Buffer
+	rm.Render(&buf)
+	if buf.String() != refTable {
+		t.Fatalf("rendered table differs from sequential\nseq:\n%s\ngot:\n%s", refTable, buf.String())
+	}
+}

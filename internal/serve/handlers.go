@@ -23,10 +23,11 @@ import (
 	"repro/internal/traceerr"
 )
 
-// maxSweepConfigs caps one sweep request's grid: a grid is priced
+// MaxSweepConfigs caps one sweep request's grid: a grid is priced
 // config-by-config inside the request's own deadline, and an unbounded
-// grid is an unbounded request.
-const maxSweepConfigs = 1024
+// grid is an unbounded request. Exported so dispatchers (the sweep
+// coordinator) can reject an oversized grid before fanning it out.
+const MaxSweepConfigs = 1024
 
 // maxReqBytes caps a JSON query body (not an upload).
 const maxReqBytes = 1 << 20
@@ -195,6 +196,18 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.writeErr(w, err)
 		return
+	}
+	if created {
+		// Persist the sanitized workload into the cache dir's workload
+		// store so a restarted server rebuilds its registry from disk
+		// (RestoreWorkloads). Best-effort: a full disk must not fail the
+		// upload the registry already accepted.
+		if serr := s.opt.Cache.StoreWorkload(wl); serr != nil {
+			s.run.Logger().Warn("workload persistence failed", "workload", wl.Name,
+				"fingerprint", e.FP.String(), "err", serr)
+		} else if s.opt.Cache.Dir() != "" {
+			s.run.Metrics().Counter("serve.workloads_persisted").Inc()
+		}
 	}
 	s.run.RecordDiagnostics(diag.Map())
 	if diag.Any() {
@@ -453,8 +466,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if len(req.MemClocks) == 0 {
 		req.MemClocks = []float64{1.0}
 	}
-	if n := len(req.CoreClocks) * len(req.MemClocks); n > maxSweepConfigs {
-		s.writeErr(w, badRequest("sweep grid has %d configs, max %d", n, maxSweepConfigs))
+	if n := len(req.CoreClocks) * len(req.MemClocks); n > MaxSweepConfigs {
+		s.writeErr(w, badRequest("sweep grid has %d configs, max %d", n, MaxSweepConfigs))
 		return
 	}
 	e, err := s.reg.get(req.Workload)

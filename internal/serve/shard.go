@@ -58,8 +58,8 @@ func (s *Server) handleShardSweep(w http.ResponseWriter, r *http.Request) {
 	if len(req.MemClocks) == 0 {
 		req.MemClocks = []float64{1.0}
 	}
-	if n := len(req.CoreClocks) * len(req.MemClocks); n > maxSweepConfigs {
-		s.writeErr(w, badRequest("sweep grid has %d configs, max %d", n, maxSweepConfigs))
+	if n := len(req.CoreClocks) * len(req.MemClocks); n > MaxSweepConfigs {
+		s.writeErr(w, badRequest("sweep grid has %d configs, max %d", n, MaxSweepConfigs))
 		return
 	}
 	spec, err := shard.ParseSpec(req.Shard)
